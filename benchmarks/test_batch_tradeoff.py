@@ -1,0 +1,34 @@
+"""Section 2.2: memory-sized batch queues and the turnaround incentive.
+
+"for a given amount of CPU time required by an application, turnaround
+time is shortest for the application which requires the least main
+memory."
+"""
+
+from conftest import once
+
+from repro.batch import venus_design_tradeoff
+
+
+def test_batch_tradeoff(benchmark):
+    loaded, empty = once(
+        benchmark,
+        lambda: (
+            venus_design_tradeoff(),
+            venus_design_tradeoff(background_large_jobs=0),
+        ),
+    )
+    print()
+    print("loaded machine:")
+    print(loaded)
+    print("empty machine:")
+    print(empty)
+
+    # Under load: the small-memory, I/O-staging variant starts first and
+    # wins on turnaround despite a longer residency.
+    assert loaded.small.queue_wait < loaded.big.queue_wait
+    assert loaded.small.residency > loaded.big.residency
+    assert loaded.small_wins
+    assert loaded.speedup > 2.0
+    # On an empty machine the incentive disappears: staging is overhead.
+    assert not empty.small_wins

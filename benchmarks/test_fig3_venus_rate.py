@@ -1,0 +1,58 @@
+"""Figure 3: data rate over process CPU time for venus.
+
+The paper's curve: bursts approaching 95 MB per CPU second, near-zero
+between bursts, repeating every ~9.5 s over the run, mean 44.1 MB/s.
+"""
+
+from conftest import once
+
+from repro.analysis.bursts import analyze_bursts
+from repro.analysis.cycles import analyze_cycles, peak_spacing_regularity
+from repro.analysis.rates import data_rate_series, rate_series_csv
+from repro.util.asciiplot import ascii_line_plot
+
+
+def test_fig3_venus_rate(benchmark, venus):
+    series = once(
+        benchmark, lambda: data_rate_series(venus.trace, clock="cpu")
+    )
+    print()
+    print(
+        ascii_line_plot(
+            series.times,
+            series.rates,
+            title="Figure 3: data rate over time for venus",
+            x_label="process CPU time (s)",
+            y_label="MB per CPU second",
+        )
+    )
+    print(rate_series_csv(series).splitlines()[0] + " ... (CSV available)")
+
+    # Peak near the paper's ~95 MB/s, mean near 44.1 MB/s.
+    assert 75 <= series.peak <= 115
+    assert 33 <= series.mean <= 55
+    # Bursty: peak roughly twice the mean, with quiet bins between bursts.
+    assert series.burstiness() > 1.6
+    assert series.active_fraction(threshold=5.0) < 0.75
+
+    # Cyclic with ~9.5 s period and near-identical cycles ("the demand
+    # patterns for all of the cycles ... were remarkably similar").
+    report = analyze_cycles(series)
+    assert report.is_cyclic
+    assert 7.0 <= report.period_seconds <= 12.0
+    assert report.cycle_similarity > 0.8
+    # "request rate peaks were generally evenly spaced"
+    assert peak_spacing_regularity(series) < 0.4
+
+    # Burst structure: one burst per cycle, evenly spaced, carrying
+    # essentially all the bytes within well under half the time.
+    bursts = analyze_bursts(series)
+    print(
+        f"bursts: {bursts.n_bursts}, spacing {bursts.mean_spacing_s:.1f} s "
+        f"(cv {bursts.spacing_cv:.2f}), duty {bursts.duty_fraction:.0%}, "
+        f"{bursts.burst_weight_fraction:.0%} of bytes in bursts"
+    )
+    assert bursts.evenly_spaced
+    assert bursts.burst_weight_fraction > 0.9
+    assert bursts.duty_fraction < 0.6
+    assert abs(bursts.mean_spacing_s - report.period_seconds) < 2.0

@@ -1,0 +1,38 @@
+"""Figure 4: data rate over process CPU time for les.
+
+The paper's curve: dense bursts across the 146 s run, mean 53.4 MB per
+CPU second -- les is busier than venus (shorter cycles, higher duty) but
+still visibly cyclic.
+"""
+
+from conftest import once
+
+from repro.analysis.cycles import analyze_cycles
+from repro.analysis.rates import data_rate_series
+from repro.util.asciiplot import ascii_line_plot
+
+
+def test_fig4_les_rate(benchmark, workloads):
+    les = workloads["les"]
+    series = once(benchmark, lambda: data_rate_series(les.trace, clock="cpu"))
+    print()
+    print(
+        ascii_line_plot(
+            series.times,
+            series.rates,
+            title="Figure 4: data rate over time for les",
+            x_label="process CPU time (s)",
+            y_label="MB per CPU second",
+        )
+    )
+
+    # Mean near the paper's 53.4 MB/s; peaks under ~110.
+    assert 40 <= series.mean <= 65
+    assert 70 <= series.peak <= 120
+    # les has a higher duty cycle than venus (io_phase 0.6 vs 0.47).
+    venus_series = data_rate_series(workloads["venus"].trace, clock="cpu")
+    assert series.active_fraction(5.0) > venus_series.active_fraction(5.0)
+    # Still cyclic, with the ~8 s cycle of the model.
+    report = analyze_cycles(series)
+    assert report.is_cyclic
+    assert 6.0 <= report.period_seconds <= 11.0

@@ -1,0 +1,43 @@
+"""Figure 7: disk traffic for two venus copies with a 128 MB SSD cache.
+
+"Almost all of the read requests were satisfied by the SSD, so there
+were very few disk read requests.  However ... the writes from cache to
+disk still did not come evenly; instead, they were bursty in the same
+way that the requests to cache were bursty."
+"""
+
+from conftest import once
+
+from repro.sim import SimConfig, simulate, ssd_cache
+from repro.util.asciiplot import ascii_line_plot
+from repro.util.units import MB
+
+
+def test_fig7_two_venus_128mb(benchmark, two_venus_traces, venus):
+    config = SimConfig(cache=ssd_cache(128 * MB))
+    result = once(benchmark, lambda: simulate(two_venus_traces, config))
+
+    rate = result.disk_rate
+    print()
+    print(
+        ascii_line_plot(
+            rate.times,
+            rate.rates,
+            title="Figure 7: disk traffic, 2 x venus, 128 MB SSD cache",
+            x_label="wall time (s)",
+            y_label="MB/s to disk",
+        )
+    )
+    print(result.summary())
+
+    # Both 55 MB data sets fit: after the compulsory first sweep, reads
+    # are SSD hits and disk reads nearly vanish.
+    data_mb = 2 * venus.data_size_bytes / MB
+    assert result.disk_read_rate.total < 1.3 * data_mb  # ~one cold sweep
+    assert result.disk_read_rate.total < 0.15 * result.disk_write_rate.total
+    assert result.cache.hit_fraction > 0.9
+    # Writes still reach the disk in bursts (write-behind flushes track
+    # the bursty dirty production).
+    assert result.disk_write_rate.burstiness() > 1.5
+    # And the CPU is now nearly fully utilized.
+    assert result.utilization > 0.95

@@ -1,0 +1,59 @@
+"""Figure 8: idle time while running two venus instances vs cache size.
+
+The paper sweeps 4-256 MB at 4 KB and 8 KB blocks: idle time falls
+monotonically with cache size, collapsing to near zero once both data
+sets are resident (128 MB and up).  "Execution time would be 761 seconds
+if there were no idle time."
+"""
+
+from conftest import BENCH_SCALES, once
+
+from repro.sim import FIG8_CACHE_SIZES_MB, cache_size_sweep, no_idle_execution_seconds
+from repro.util.asciiplot import ascii_bar_plot
+from repro.util.tables import TextTable
+
+
+def test_fig8_cache_sweep(benchmark):
+    scale = BENCH_SCALES["venus"]
+    points = once(benchmark, lambda: cache_size_sweep(scale=scale))
+    base = no_idle_execution_seconds(scale)
+
+    table = TextTable(
+        ["block", "cache(MB)", "idle(s)", "utilization", "hit%"],
+        title=f"Figure 8 (no-idle execution time at this scale: {base:.0f} s)",
+    )
+    for p in points:
+        table.add_row(
+            [
+                f"{p.block_kb:g}K",
+                p.cache_mb,
+                round(p.idle_seconds, 2),
+                f"{p.utilization:.1%}",
+                f"{p.hit_fraction:.1%}",
+            ]
+        )
+    print()
+    print(table.render())
+    for block_kb in (4, 8):
+        sub = [p for p in points if p.block_kb == block_kb]
+        print(
+            ascii_bar_plot(
+                [f"{p.cache_mb:g}MB" for p in sub],
+                [p.idle_seconds for p in sub],
+                title=f"idle seconds, {block_kb}K blocks",
+            )
+        )
+
+    for block_kb in (4, 8):
+        sub = {p.cache_mb: p for p in points if p.block_kb == block_kb}
+        assert set(sub) == set(FIG8_CACHE_SIZES_MB)
+        idles = [sub[mb].idle_seconds for mb in FIG8_CACHE_SIZES_MB]
+        # Never increasing (within 10% wiggle), with a large overall drop.
+        for a, b in zip(idles, idles[1:]):
+            assert b <= a * 1.1
+        # Substantial idle at 4 MB ...
+        assert idles[0] > 0.5 * base
+        # ... collapsing once both data sets fit (128 MB and 256 MB).
+        assert idles[-2] < 0.05 * base
+        assert idles[-1] < 0.05 * base
+        assert sub[128].utilization > 0.97

@@ -1,0 +1,73 @@
+"""Section 5.1: the three I/O classes and their characteristic rates.
+
+Required I/O is sub-MB/s-class; checkpoints are a few MB/s-class; data
+swapping runs at tens of MB/s -- and the swapping class dominates the
+I/O-intensive programs while gcm and upw are compulsory-only.
+"""
+
+from conftest import once
+
+from repro.analysis.classify import (
+    PAPER_CHECKPOINT_EXAMPLE_MB_PER_SEC,
+    PAPER_REQUIRED_EXAMPLE_MB_PER_SEC,
+    PAPER_SWAP_EXAMPLE_MB_PER_SEC,
+    IOClass,
+    classify_trace,
+)
+from repro.util.tables import TextTable
+from repro.workloads import APP_NAMES
+
+
+def test_io_classes(benchmark, workloads):
+    reports = once(
+        benchmark,
+        lambda: {
+            name: classify_trace(w.trace, w.cpu_seconds)
+            for name, w in workloads.items()
+        },
+    )
+    table = TextTable(
+        ["app", "required MB/s", "checkpoint MB/s", "swap MB/s", "dominant"],
+        title="I/O classes per application (structural classification)",
+    )
+    for name in APP_NAMES:
+        r = reports[name]
+        table.add_row(
+            [
+                name,
+                round(r.breakdown[IOClass.REQUIRED].mb_per_sec, 3),
+                round(r.breakdown[IOClass.CHECKPOINT].mb_per_sec, 3),
+                round(r.breakdown[IOClass.SWAP].mb_per_sec, 3),
+                r.dominant_class.value,
+            ]
+        )
+    print()
+    print(table.render())
+    print(
+        f"paper's worked-example rates: required ~"
+        f"{PAPER_REQUIRED_EXAMPLE_MB_PER_SEC} MB/s, checkpoint ~"
+        f"{PAPER_CHECKPOINT_EXAMPLE_MB_PER_SEC} MB/s, swap ~"
+        f"{PAPER_SWAP_EXAMPLE_MB_PER_SEC} MB/s"
+    )
+
+    # Compulsory-only programs: gcm and upw never swap.
+    for name in ("gcm", "upw"):
+        assert reports[name].dominant_class == IOClass.REQUIRED, name
+        assert reports[name].breakdown[IOClass.SWAP].n_ios == 0, name
+        assert reports[name].breakdown[IOClass.REQUIRED].mb_per_sec < 1.0
+
+    # Staging programs: swapping dominates by a wide margin.
+    for name in ("venus", "les", "bvi", "ccm", "forma"):
+        r = reports[name]
+        assert r.dominant_class == IOClass.SWAP, name
+        assert r.fraction_of_bytes(IOClass.SWAP) > 0.9, name
+        # swap-class rates in the tens of MB/s, like the paper's ~24 MB/s
+        # worked example
+        assert r.breakdown[IOClass.SWAP].mb_per_sec > 5.0, name
+
+    # ccm and les carry checkpoint files; their checkpoint rate sits
+    # between required and swap, matching the example ordering.
+    for name in ("ccm", "les"):
+        cp = reports[name].breakdown[IOClass.CHECKPOINT]
+        assert cp.n_files >= 1, name
+        assert cp.mb_per_sec < reports[name].breakdown[IOClass.SWAP].mb_per_sec

@@ -1,0 +1,54 @@
+"""Section 2.2's storage pyramid: staging data sets from the MSS.
+
+Not a paper table -- the paper describes the MSS but evaluates above it.
+This bench quantifies the start-up latency the disk-level simulations
+begin after, and the benefit of multiple tape drives for multi-file
+data sets.
+"""
+
+from conftest import once
+
+from repro.mss.staging import stage_workload
+from repro.util.tables import TextTable
+
+
+def test_mss_staging(benchmark, workloads):
+    def run():
+        out = {}
+        for name in ("venus", "les", "ccm"):
+            out[name] = {
+                drives: stage_workload(workloads[name], n_drives=drives)
+                for drives in (1, 4)
+            }
+        return out
+
+    results = once(benchmark, run)
+    table = TextTable(
+        ["app", "files", "MB", "1 drive (s)", "4 drives (s)", "speedup"],
+        title="Time until the data set is online (nearline tape at 3 MB/s)",
+    )
+    for name, by_drives in results.items():
+        one, four = by_drives[1], by_drives[4]
+        table.add_row(
+            [
+                name,
+                one.n_files,
+                round(one.total_bytes / 2**20),
+                round(one.ready_at_s, 1),
+                round(four.ready_at_s, 1),
+                f"x{one.ready_at_s / four.ready_at_s:.2f}",
+            ]
+        )
+    print()
+    print(table.render())
+
+    venus1, venus4 = results["venus"][1], results["venus"][4]
+    # venus's six-file data set parallelizes across four drives...
+    assert venus4.ready_at_s < 0.45 * venus1.ready_at_s
+    # ...while total drive work is conserved.
+    assert venus4.drive_busy_s == venus1.drive_busy_s
+    # Staging is minutes-scale: far longer than any single disk access,
+    # which is why jobs stage once and then sweep at disk speed.
+    assert venus1.ready_at_s > 10.0
+    # Tape bandwidth bounds effective staging throughput per drive.
+    assert venus1.effective_bandwidth_mb_s <= 3.0 + 1e-9

@@ -1,0 +1,64 @@
+"""Extension benches: the n+1 rule (2.2) and physical-trace translation.
+
+Both exercise machinery the paper describes but did not evaluate
+directly: multiprogramming across CPUs, and the trace format's physical
+records ("we included provisions for our trace format to include
+physical I/Os as well").
+"""
+
+from conftest import once
+
+from repro.fslayout import analyze_physical, translate_trace
+from repro.sim.experiments import n_plus_one_rule
+from repro.util.tables import TextTable
+
+
+def test_n_plus_one_rule(benchmark):
+    def run():
+        return (
+            n_plus_one_rule(app="upw", n_cpus=2, max_extra_jobs=1, scale=0.25),
+            n_plus_one_rule(app="venus", n_cpus=2, max_extra_jobs=2, scale=0.1),
+        )
+
+    compute, io_bound = once(benchmark, run)
+    table = TextTable(["workload", "jobs", "utilization"], title="n+1 rule, 2 CPUs")
+    for p in compute:
+        table.add_row(["upw", p.n_jobs, f"{p.utilization:.1%}"])
+    for p in io_bound:
+        table.add_row(["venus", p.n_jobs, f"{p.utilization:.1%}"])
+    print()
+    print(table.render())
+
+    # Compute-bound jobs: n jobs already keep n CPUs essentially busy.
+    assert compute[0].utilization > 0.95
+    # I/O-intensive jobs at a modest cache: even n+2 jobs cannot -- "more
+    # than one will be awaiting I/O all the time".
+    assert all(p.utilization < 0.85 for p in io_bound)
+    # More jobs monotonically help, a bit (rule of thumb direction).
+    assert io_bound[1].utilization > io_bound[0].utilization
+
+
+def test_physical_translation(benchmark, venus):
+    def run():
+        contiguous = analyze_physical(translate_trace(venus.trace))
+        fragmented = analyze_physical(
+            translate_trace(venus.trace, max_extent_blocks=128)
+        )
+        return contiguous, fragmented
+
+    contiguous, fragmented = once(benchmark, run)
+    print()
+    print(f"contiguous layout: {contiguous}")
+    print(f"fragmented layout: {fragmented}")
+
+    # Contiguous layout: one physical record per logical one, no
+    # amplification (venus requests are block-aligned), physical stream
+    # as sequential as the logical one.
+    assert contiguous.fan_out == 1.0
+    assert abs(contiguous.amplification - 1.0) < 1e-9
+    # Fragmentation fans logical requests out across extents and destroys
+    # physical sequentiality -- what the paper's seek-closeness disk
+    # model would feel.
+    assert fragmented.fan_out > 2.0
+    assert fragmented.max_extents > 10 * contiguous.max_extents
+    assert fragmented.sequential_fraction < contiguous.sequential_fraction

@@ -1,0 +1,36 @@
+"""Section 5.1: program-controlled staging beats demand paging.
+
+"These I/Os are the equivalent of paging under a paging virtual memory
+operating system, but they are generally done under program control
+because many supercomputers lack paging.  Even when paging exists, the
+program is better able than the operating system to predict which data
+it will need."
+"""
+
+from conftest import once
+
+from repro.sim import paging_vs_staging
+
+
+def test_paging_vs_staging(benchmark):
+    comparison = once(benchmark, paging_vs_staging)
+    print()
+    print(
+        f"staged (456 KB program requests): completes in "
+        f"{comparison.staged_completion_s:7.1f} s "
+        f"({comparison.staged_ios_per_sec:.0f} I/Os per CPU-s)"
+    )
+    print(
+        f"paged  (16 KB demand faults):     completes in "
+        f"{comparison.paged_completion_s:7.1f} s "
+        f"({comparison.paged_ios_per_sec:.0f} I/Os per CPU-s)"
+    )
+    print(f"staging speedup: x{comparison.slowdown:.2f}")
+
+    # The program-controlled version finishes several times sooner: the
+    # fault path can neither predict (no read-ahead) nor amortize the
+    # per-request system cost over a large transfer.
+    assert comparison.staging_wins
+    assert comparison.slowdown > 2.0
+    # The paged variant multiplies the request rate by the page ratio.
+    assert comparison.paged_ios_per_sec > 10 * comparison.staged_ios_per_sec

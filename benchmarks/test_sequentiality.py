@@ -1,0 +1,80 @@
+"""Section 5.2's structural claims: sequential, regular, concentrated.
+
+"File accesses were highly sequential, and a very large majority of the
+accesses went to only a small number of files" -- the properties that
+make both the trace compression and read-ahead work.
+"""
+
+from conftest import once
+
+from repro.analysis.perfile import large_file_io_fraction, unique_sizes_per_file
+from repro.analysis.sequentiality import (
+    analyze_file_concentration,
+    analyze_sequentiality,
+)
+from repro.util.tables import TextTable
+from repro.workloads import APP_NAMES
+
+
+def test_sequentiality(benchmark, workloads):
+    reports = once(
+        benchmark,
+        lambda: {
+            name: analyze_sequentiality(w.trace) for name, w in workloads.items()
+        },
+    )
+    table = TextTable(
+        ["app", "sequential", "same-size", "dominant size", "of requests"],
+        title="Sequentiality and request-size regularity",
+    )
+    for name in APP_NAMES:
+        r = reports[name]
+        table.add_row(
+            [
+                name,
+                f"{r.sequential_fraction:.1%}",
+                f"{r.same_size_fraction:.1%}",
+                f"{r.dominant_size // 1024} KB",
+                f"{r.dominant_size_fraction:.1%}",
+            ]
+        )
+    print()
+    print(table.render())
+
+    # The staging applications are highly sequential with regular request
+    # sizes (les legitimately uses two: one read size, one write size;
+    # forma's sparse skipping makes it the least sequential of the big
+    # ones, but its sizes stay regular).
+    for name in ("venus", "les", "bvi", "ccm"):
+        assert reports[name].sequential_fraction > 0.85, name
+        assert reports[name].same_size_fraction > 0.9, name
+    for name in ("venus", "ccm"):
+        assert reports[name].dominant_size_fraction > 0.9, name
+    # les and bvi legitimately use one read size and one write size; a
+    # handful of tail pieces (checkpoint/config/results) also appear.
+    assert reports["les"].n_distinct_sizes <= 8
+    assert reports["bvi"].n_distinct_sizes <= 8
+    assert reports["bvi"].dominant_size_fraction > 0.75
+    assert reports["forma"].same_size_fraction > 0.7
+    # Access sizes fall in the 5.2 range: 32 KB to 512 KB on large files
+    # (16 KB for SSD-resident bvi).
+    for name in ("venus", "les", "ccm", "forma"):
+        assert 30 * 1024 <= reports[name].dominant_size <= 520 * 1024, name
+    assert reports["bvi"].dominant_size == 14 * 1024  # its read size
+
+
+def test_file_concentration(benchmark, workloads):
+    venus = workloads["venus"]
+    conc = once(benchmark, lambda: analyze_file_concentration(venus.trace))
+    print(
+        f"\nvenus: {conc.n_files} files opened; "
+        f"{conc.files_for_90_percent} cover 90% of accesses"
+    )
+    # "a very large majority of the accesses went to only a small number
+    # of files": six data files carry everything.
+    assert conc.files_for_90_percent <= 6
+    assert large_file_io_fraction(venus.trace) > 0.99
+    # Each large file keeps a single request size throughout.
+    sizes = unique_sizes_per_file(venus.trace)
+    dominant = [n for n in sizes.values() if n == 1]
+    assert len(dominant) >= 6

@@ -1,0 +1,58 @@
+"""Section 6.3's headline: per-application utilization with a 32 MW SSD.
+
+"In a 32 MW SSD, all of our programs except one utilized the CPU over
+99%" and "even in an 8 MB cache, gcm had only 1 second of idle time."
+"""
+
+from conftest import once
+
+from repro.sim import SimConfig, simulate, ssd_utilization_per_app
+from repro.sim.config import CacheConfig
+from repro.util.tables import TextTable
+from repro.util.units import MB
+from repro.workloads import generate_workload
+
+
+def test_ssd_utilization(benchmark):
+    runs = once(benchmark, ssd_utilization_per_app)
+    table = TextTable(
+        ["app", "utilization", "warm util", "idle(s)", "hit%"],
+        title="Per-application runs with a 256 MB SSD cache",
+    )
+    for r in runs:
+        table.add_row(
+            [
+                r.name,
+                f"{r.utilization:.2%}",
+                f"{r.warm_utilization:.2%}",
+                round(r.idle_seconds, 2),
+                f"{r.hit_fraction:.1%}",
+            ]
+        )
+    print()
+    print(table.render())
+
+    utils = {r.name: r.utilization for r in runs}
+    # "all but one ... over 99%": at least six of seven clear 98% in the
+    # scaled runs, everyone clears 95%.
+    assert sum(1 for u in utils.values() if u > 0.98) >= 6
+    assert min(utils.values()) > 0.95
+    # The laggard ("all but one") is one of the heavy staging codes.
+    assert min(utils, key=utils.get) in {"forma", "venus", "bvi"}
+    # The compulsory-only programs sit at the top.
+    assert utils["gcm"] > 0.99 and utils["upw"] > 0.99
+
+
+def test_gcm_tiny_cache_low_idle(benchmark):
+    # "even in an 8 MB cache, gcm had only 1 second of idle time."
+    gcm = generate_workload("gcm", scale=0.25)
+    config = SimConfig(cache=CacheConfig(size_bytes=8 * MB))
+    result = once(benchmark, lambda: simulate([gcm.trace], config))
+    print(
+        f"\ngcm, 8 MB cache: idle {result.idle_seconds:.2f} s over "
+        f"{result.completion_seconds:.0f} s (paper: ~1 s over 1897 s)"
+    )
+    # proportionally: 1 s of idle per 1897 s of run
+    assert result.idle_seconds < 2.0 * (
+        result.completion_seconds / 1897.0
+    ) + 0.5

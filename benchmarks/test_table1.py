@@ -1,0 +1,36 @@
+"""Table 1: Characteristics of the traced applications.
+
+Regenerates every row (running time, data size, total I/O, #I/Os, average
+I/O size, MB/s, I/Os/s) and compares against the paper's reconstructed
+values.  Rates must land within 25%; extrapolated totals within 35%
+(scaled runs amortize start/finish phases differently).
+"""
+
+from conftest import once
+
+from repro.analysis.report import render_table1, table1_rows
+from repro.workloads import APP_NAMES
+
+
+def test_table1(benchmark, workloads):
+    rows = once(benchmark, lambda: table1_rows(workloads.values()))
+    print()
+    print(render_table1(workloads.values()))
+
+    by_name = {row.name: row for row in rows}
+    assert set(by_name) == set(APP_NAMES)
+    for name, row in by_name.items():
+        paper = workloads[name].paper
+        assert abs(row.mb_per_sec - paper.mb_per_sec) <= 0.25 * paper.mb_per_sec, name
+        assert abs(row.ios_per_sec - paper.ios_per_sec) <= 0.25 * paper.ios_per_sec, name
+        assert abs(row.total_io_mb - paper.total_io_mb) <= 0.35 * paper.total_io_mb, name
+        assert abs(row.n_ios - paper.n_ios) <= 0.35 * paper.n_ios, name
+        assert abs(row.avg_io_mb - paper.avg_io_mb) <= 0.3 * paper.avg_io_mb, name
+
+    # Orderings the paper's narrative rests on: forma has the highest
+    # rates; gcm and upw barely do I/O; bvi makes the smallest requests.
+    assert by_name["forma"].mb_per_sec == max(r.mb_per_sec for r in rows)
+    assert by_name["forma"].ios_per_sec == max(r.ios_per_sec for r in rows)
+    assert by_name["upw"].mb_per_sec < 0.2
+    assert by_name["gcm"].mb_per_sec < 0.2
+    assert by_name["bvi"].avg_io_mb == min(r.avg_io_mb for r in rows)

@@ -1,0 +1,36 @@
+"""Table 2: I/O request rates and data rates, split by direction."""
+
+from conftest import once
+
+from repro.analysis.report import render_table2, table2_rows
+from repro.workloads import APP_NAMES
+
+
+def test_table2(benchmark, workloads):
+    rows = once(benchmark, lambda: table2_rows(workloads.values()))
+    print()
+    print(render_table2(workloads.values()))
+
+    by_name = {row.name: row for row in rows}
+    assert set(by_name) == set(APP_NAMES)
+    for name, row in by_name.items():
+        paper = workloads[name].paper
+        # read/write data ratio within 25% of the paper's
+        assert (
+            abs(row.rw_data_ratio - paper.rw_data_ratio)
+            <= 0.25 * paper.rw_data_ratio
+        ), name
+        # average request size within 20%
+        assert abs(row.avg_io_kb - paper.avg_io_kb) <= 0.2 * paper.avg_io_kb, name
+
+    # Narrative orderings: only gcm and upw are write-dominated (ratio
+    # well under one); forma is by far the most read-dominated; les is
+    # nearly balanced.
+    assert by_name["gcm"].rw_data_ratio < 0.2
+    assert by_name["upw"].rw_data_ratio < 0.2
+    assert by_name["forma"].rw_data_ratio == max(r.rw_data_ratio for r in rows)
+    assert 0.8 < by_name["les"].rw_data_ratio < 1.2
+    # bvi/les request-size extremes
+    assert by_name["bvi"].avg_io_kb == min(r.avg_io_kb for r in rows)
+    sizes = sorted(r.avg_io_kb for r in rows)
+    assert by_name["les"].avg_io_kb in sizes[-2:]

@@ -1,0 +1,33 @@
+"""Section 6.2's write-behind claim.
+
+"For example, writebehind reduced idle time from 211 seconds to 1 second
+for a simulation of two identical copies of venus running with a 128 MB
+cache."  We assert the shape: more than an order of magnitude of idle
+time disappears when the writer stops waiting for the disk.
+"""
+
+from conftest import BENCH_SCALES, once
+
+from repro.sim import writebehind_ablation
+
+
+def test_writebehind_ablation(benchmark):
+    scale = BENCH_SCALES["venus"]
+    without, with_wb = once(
+        benchmark, lambda: writebehind_ablation(cache_mb=128, scale=scale)
+    )
+    print()
+    print("write-behind ablation, 2 x venus, 128 MB cache:")
+    print(
+        f"  without: idle {without.idle_seconds:8.2f} s, "
+        f"utilization {without.utilization:.1%}"
+    )
+    print(
+        f"  with:    idle {with_wb.idle_seconds:8.2f} s, "
+        f"utilization {with_wb.utilization:.1%}"
+    )
+    print('  paper: "from 211 seconds to 1 second"')
+
+    assert without.idle_seconds > 10 * max(with_wb.idle_seconds, 0.05)
+    assert with_wb.utilization > 0.95
+    assert without.utilization < 0.85

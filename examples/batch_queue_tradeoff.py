@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Why venus was written the way it was: the batch-queue tradeoff.
+
+Section 2.2 explains that UNICOS batch queues are sized by memory, each
+with a fixed memory slab, and that "turnaround time is shortest for the
+application which requires the least main memory.  Programmers take
+advantage of this by structuring their program to use smaller in-memory
+data structures while staging data to/from SSD or disk" -- which is
+exactly what the venus implementor did, creating the I/O-intensive
+behaviour the rest of the paper studies.
+
+This example submits the same computation both ways into a loaded
+machine and prints the turnarounds.
+
+Run:  python examples/batch_queue_tradeoff.py
+"""
+
+from repro.batch import venus_design_tradeoff
+
+
+def main() -> None:
+    print("=== loaded machine (six large background jobs) ===")
+    loaded = venus_design_tradeoff()
+    print(loaded)
+
+    print("\n=== empty machine ===")
+    empty = venus_design_tradeoff(background_large_jobs=0)
+    print(empty)
+
+    print(
+        "\nUnder load, the small-memory staged variant wins decisively --\n"
+        "the incentive that produced venus's 44 MB/s of staging I/O.  On an\n"
+        "empty machine the in-memory variant wins: staging is pure overhead."
+    )
+
+
+if __name__ == "__main__":
+    main()

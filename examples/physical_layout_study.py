@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""What the logical traces hide: physical layout and fragmentation.
+
+The paper collected logical traces and *approximated* seeks from logical
+closeness, noting the format's "provisions ... to include physical I/Os
+as well".  This example exercises those provisions: it lays a venus
+trace out on disk twice (contiguous and fragmented), expands it into
+physical records, and shows what each layout does to the disk model's
+service time.
+
+Run:  python examples/physical_layout_study.py [scale]
+"""
+
+import sys
+
+from repro.fslayout import analyze_physical, translate_trace
+from repro.sim.config import DiskConfig
+from repro.sim.devices import DiskModel
+from repro.workloads import generate_workload
+
+
+def disk_time(physical_trace) -> float:
+    """Total device-seconds to serve a physical trace in order."""
+    disk = DiskModel(DiskConfig(), seed=0)
+    order = physical_trace.start_time.argsort(kind="stable")
+    total = 0.0
+    for i in order:
+        total += disk.service_time(
+            int(physical_trace.file_id[i]),
+            int(physical_trace.offset[i]),
+            int(physical_trace.length[i]),
+        )
+    return total
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    venus = generate_workload("venus", scale=scale)
+    print(f"venus at scale {scale}: {len(venus.trace)} logical records")
+
+    for label, kwargs in (
+        ("contiguous", {}),
+        ("fragmented (<=128-block extents)", {"max_extent_blocks": 128}),
+    ):
+        translation = translate_trace(venus.trace, **kwargs)
+        report = analyze_physical(translation)
+        seconds = disk_time(translation.physical)
+        print(f"\n{label}:")
+        print(f"  {report}")
+        print(f"  disk service time to replay: {seconds:.1f} device-seconds")
+
+    print(
+        "\nFragmentation multiplies the record count and turns sequential\n"
+        "streams into seeks -- the physical reality the paper's logical-\n"
+        "closeness approximation stood in for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Quickstart: generate a venus trace, analyze it, and buffer-simulate it.
+
+This walks the full pipeline of the paper in about a minute:
+
+1. generate a calibrated synthetic trace for the `venus` climate model;
+2. report its Table 1 / Table 2 characteristics;
+3. show its bursty, cyclic demand curve (Figure 3);
+4. replay two copies through the buffering simulator at two cache sizes
+   and watch read-ahead + write-behind erase the idle time.
+
+Run:  python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro.analysis import analyze_cycles, analyze_sequentiality, data_rate_series
+from repro.analysis.summary import summarize_table1, summarize_table2
+from repro.sim import run_two_venus
+from repro.util.asciiplot import sparkline
+from repro.workloads import generate_workload
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+
+    print(f"=== generating venus at scale {scale} ===")
+    venus = generate_workload("venus", scale=scale)
+    t1 = summarize_table1(venus)
+    t2 = summarize_table2(venus)
+    print(
+        f"CPU time {t1.running_seconds:.1f} s | {t1.n_ios} I/Os | "
+        f"{t1.total_io_mb:.0f} MB total | avg {t1.avg_io_mb * 1024:.0f} KB"
+    )
+    print(
+        f"rates: {t1.mb_per_sec:.1f} MB/s, {t1.ios_per_sec:.0f} I/Os/s "
+        f"(paper: 44.1 MB/s, 92 I/Os/s) | R/W ratio {t2.rw_data_ratio:.2f} "
+        f"(paper 1.80)"
+    )
+
+    print("\n=== demand pattern (MB per CPU second, 1 s bins) ===")
+    series = data_rate_series(venus.trace, clock="cpu")
+    print(sparkline(series.rates, width=76))
+    print(f"peak {series.peak:.0f} MB/s | mean {series.mean:.0f} MB/s")
+    cyc = analyze_cycles(series)
+    if cyc.is_cyclic:
+        print(
+            f"cyclic with period {cyc.period_seconds:.1f} s, "
+            f"cycle similarity {cyc.cycle_similarity:.2f}"
+        )
+    seq = analyze_sequentiality(venus.trace)
+    print(
+        f"sequential accesses: {seq.sequential_fraction:.0%}; "
+        f"dominant request size {seq.dominant_size // 1024} KB "
+        f"({seq.dominant_size_fraction:.0%} of requests)"
+    )
+
+    print("\n=== buffering simulation: 2 x venus on one CPU ===")
+    for cache_mb in (8, 128):
+        run = run_two_venus(cache_mb=cache_mb, scale=scale)
+        print(
+            f"{cache_mb:4d} MB cache: idle {run.idle_seconds:7.2f} s, "
+            f"CPU utilization {run.utilization:6.1%}, "
+            f"cache hits {run.result.cache.hit_fraction:.0%}"
+        )
+    print(
+        "\nWith a large cache doing read-ahead and write-behind, one or two\n"
+        "I/O-intensive applications fully utilize the CPU -- the paper's\n"
+        "headline result."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Amdahl's I/O metric (section 1 and the section 5.1 worked example).
+
+"According to Amdahl's metric, each MIPS (million instructions per
+second) should be accompanied by one Mbit per second of I/O."
+
+The section 5.1 example: a memory-limited code moving 3 words (24 bytes)
+per 200 floating-point operations needs 24 bytes of I/O per 200 FLOPs --
+"quite close to Amdahl's metric, which would require 200 bits, or 25
+bytes of I/O for those 200 FLOPS".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import MB
+
+#: Amdahl: one megabit of I/O per second per MIPS.
+AMDAHL_BITS_PER_INSTRUCTION = 1.0
+
+#: The Y-MP-class sustained rate used in the paper's example.
+PAPER_EXAMPLE_MFLOPS = 200.0
+
+#: Bytes of I/O per data point in the example (3 eight-byte words).
+PAPER_EXAMPLE_BYTES_PER_POINT = 24
+
+#: Floating-point operations per data point in the example.
+PAPER_EXAMPLE_FLOPS_PER_POINT = 200
+
+
+def amdahl_io_mb_per_sec(mips: float) -> float:
+    """I/O rate (MB/s) Amdahl's metric prescribes for a ``mips`` machine."""
+    bits_per_sec = mips * 1e6 * AMDAHL_BITS_PER_INSTRUCTION
+    return bits_per_sec / 8 / MB
+
+
+def amdahl_balance(io_mb_per_sec: float, mips: float) -> float:
+    """Measured-to-prescribed I/O ratio; 1.0 is Amdahl-balanced.
+
+    Above 1 the application demands more bandwidth per instruction than
+    Amdahl's rule; below 1 it is compute-heavy.
+    """
+    prescribed = amdahl_io_mb_per_sec(mips)
+    return io_mb_per_sec / prescribed if prescribed else 0.0
+
+
+@dataclass(frozen=True)
+class SwapRateEstimate:
+    """Sustained swap-I/O estimate for a memory-limited application."""
+
+    bytes_per_point: int
+    flops_per_point: int
+    mflops: float
+
+    @property
+    def mb_per_sec(self) -> float:
+        points_per_sec = self.mflops * 1e6 / self.flops_per_point
+        return points_per_sec * self.bytes_per_point / 1e6
+
+    @property
+    def amdahl_mb_per_sec(self) -> float:
+        """What Amdahl's metric prescribes, treating FLOPS as instructions."""
+        return self.mflops * 1e6 / 8 / 1e6
+
+
+def paper_swap_example() -> SwapRateEstimate:
+    """The section 5.1 worked example (about 24 MB/s vs Amdahl's 25)."""
+    return SwapRateEstimate(
+        bytes_per_point=PAPER_EXAMPLE_BYTES_PER_POINT,
+        flops_per_point=PAPER_EXAMPLE_FLOPS_PER_POINT,
+        mflops=PAPER_EXAMPLE_MFLOPS,
+    )

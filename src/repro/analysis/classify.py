@@ -1,0 +1,122 @@
+"""I/O-type classification (section 5.1): required / checkpoint / swap.
+
+"All of the I/O accesses made by the programs can be divided into three
+types -- required, checkpoint, and data swapping."
+
+The classifier is structural, working from each file's access pattern:
+
+* a file that is only read holds *required* input (configuration and
+  initial state);
+* a file that is only written and grows monotonically holds *required*
+  output (final results, history records);
+* a file that is only written but is rewritten from the top more than
+  once is a *checkpoint* file (the same state dumped every few
+  iterations);
+* a file that is both read and written carries *data swapping* -- the
+  program-controlled paging of a data set that does not fit in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.trace.array import TraceArray
+from repro.util.units import MB
+
+
+class IOClass(Enum):
+    REQUIRED = "required"
+    CHECKPOINT = "checkpoint"
+    SWAP = "swap"
+
+
+@dataclass(frozen=True)
+class ClassBreakdown:
+    """Bytes/count/rate of one I/O class within a trace."""
+
+    io_class: IOClass
+    n_ios: int
+    total_bytes: int
+    mb_per_sec: float
+    n_files: int
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    file_classes: dict[int, IOClass]
+    breakdown: dict[IOClass, ClassBreakdown]
+
+    def fraction_of_bytes(self, io_class: IOClass) -> float:
+        total = sum(b.total_bytes for b in self.breakdown.values())
+        if total == 0:
+            return 0.0
+        return self.breakdown[io_class].total_bytes / total
+
+    @property
+    def dominant_class(self) -> IOClass:
+        return max(self.breakdown.values(), key=lambda b: b.total_bytes).io_class
+
+
+def classify_file(offsets: np.ndarray, is_write: np.ndarray) -> IOClass:
+    """Classify one file's access stream (arrays in trace order)."""
+    any_read = bool((~is_write).any())
+    any_write = bool(is_write.any())
+    if any_read and any_write:
+        return IOClass.SWAP
+    if any_read:
+        return IOClass.REQUIRED
+    # Write-only: count rewinds -- writes that restart at or before an
+    # already-written offset.  One pass over the file is required output;
+    # repeated overwrites of the same region are checkpoints.
+    rewinds = int((np.diff(offsets) < 0).sum())
+    return IOClass.CHECKPOINT if rewinds >= 1 else IOClass.REQUIRED
+
+
+def classify_trace(trace: TraceArray, cpu_seconds: float) -> ClassificationReport:
+    """Classify every file of a trace and aggregate per class."""
+    file_classes: dict[int, IOClass] = {}
+    per_class: dict[IOClass, list[int]] = {c: [] for c in IOClass}
+    bytes_per_class: dict[IOClass, int] = {c: 0 for c in IOClass}
+    count_per_class: dict[IOClass, int] = {c: 0 for c in IOClass}
+
+    for fid in trace.file_ids():
+        sub = trace.for_file(int(fid))
+        io_class = classify_file(np.asarray(sub.offset), np.asarray(sub.is_write))
+        file_classes[int(fid)] = io_class
+        per_class[io_class].append(int(fid))
+        bytes_per_class[io_class] += sub.total_bytes
+        count_per_class[io_class] += len(sub)
+
+    breakdown = {
+        c: ClassBreakdown(
+            io_class=c,
+            n_ios=count_per_class[c],
+            total_bytes=bytes_per_class[c],
+            mb_per_sec=(
+                bytes_per_class[c] / MB / cpu_seconds if cpu_seconds else 0.0
+            ),
+            n_files=len(per_class[c]),
+        )
+        for c in IOClass
+    }
+    return ClassificationReport(file_classes=file_classes, breakdown=breakdown)
+
+
+# ---------------------------------------------------------------------------
+# The paper's worked examples (rate anchors for the class bench)
+# ---------------------------------------------------------------------------
+
+#: "reading 50 MB of configuration and initialization data and writing
+#: 100 MB of output [over 200 s], the overall I/O rate is only .75 MB/sec"
+PAPER_REQUIRED_EXAMPLE_MB_PER_SEC = (50 + 100) / 200.0
+
+#: "a program that saves 40 MB of state every 20 CPU seconds, the average
+#: I/O rate is only 2 MB/sec"
+PAPER_CHECKPOINT_EXAMPLE_MB_PER_SEC = 40 / 20.0
+
+#: "For a 200 MFLOP processor, the average sustained rate will be almost
+#: 25 MB/sec" (24 bytes of I/O per 200 FLOPs)
+PAPER_SWAP_EXAMPLE_MB_PER_SEC = 24e-6 / 200e-6 * 200  # = 24 MB/s of requests

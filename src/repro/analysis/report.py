@@ -1,0 +1,130 @@
+"""Rendered paper-vs-measured reports for Tables 1 and 2."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.summary import (
+    Table1Row,
+    Table2Row,
+    extrapolate_table1,
+    scale_factor_to_full,
+    summarize_table1,
+    summarize_table2,
+)
+from repro.util.tables import TextTable
+from repro.workloads.base import GeneratedWorkload
+
+
+def render_table1(
+    workloads: Iterable[GeneratedWorkload], *, extrapolate: bool = True
+) -> str:
+    """Table 1 with measured and paper values side by side.
+
+    With ``extrapolate=True`` (the default) totals of scaled-down runs are
+    extrapolated to full-run estimates; rates are always as measured.
+    """
+    table = TextTable(
+        [
+            "app",
+            "time(s)",
+            "paper",
+            "data(MB)",
+            "paper",
+            "totalIO(MB)",
+            "paper",
+            "#IOs",
+            "paper",
+            "avg(MB)",
+            "paper",
+            "MB/s",
+            "paper",
+            "IO/s",
+            "paper",
+        ],
+        title="Table 1: Characteristics of the traced applications (measured | paper)",
+    )
+    for w in workloads:
+        row = summarize_table1(w)
+        if extrapolate:
+            row = extrapolate_table1(row, scale_factor_to_full(w))
+        p = w.paper
+        table.add_row(
+            [
+                row.name,
+                round(row.running_seconds, 1),
+                p.running_seconds,
+                round(row.data_size_mb, 1),
+                p.data_size_mb,
+                round(row.total_io_mb, 1),
+                p.total_io_mb,
+                row.n_ios,
+                p.n_ios,
+                round(row.avg_io_mb, 3),
+                p.avg_io_mb,
+                round(row.mb_per_sec, 2),
+                p.mb_per_sec,
+                round(row.ios_per_sec, 1),
+                p.ios_per_sec,
+            ]
+        )
+    return table.render()
+
+
+def render_table2(workloads: Iterable[GeneratedWorkload]) -> str:
+    """Table 2 with measured and paper values side by side."""
+    table = TextTable(
+        [
+            "app",
+            "R MB/s",
+            "paper",
+            "W MB/s",
+            "paper",
+            "R IO/s",
+            "paper",
+            "W IO/s",
+            "paper",
+            "avg KB",
+            "paper",
+            "R/W",
+            "paper",
+        ],
+        title="Table 2: I/O request rates and data rates (measured | paper)",
+    )
+    for w in workloads:
+        row = summarize_table2(w)
+        p = w.paper
+        table.add_row(
+            [
+                row.name,
+                round(row.read_mb_per_sec, 4),
+                p.read_mb_per_sec,
+                round(row.write_mb_per_sec, 4),
+                p.write_mb_per_sec,
+                round(row.read_ios_per_sec, 2),
+                p.read_ios_per_sec,
+                round(row.write_ios_per_sec, 2),
+                p.write_ios_per_sec,
+                round(row.avg_io_kb, 1),
+                p.avg_io_kb,
+                round(row.rw_data_ratio, 2),
+                p.rw_data_ratio,
+            ]
+        )
+    return table.render()
+
+
+def table1_rows(
+    workloads: Iterable[GeneratedWorkload], *, extrapolate: bool = True
+) -> list[Table1Row]:
+    rows = []
+    for w in workloads:
+        row = summarize_table1(w)
+        if extrapolate:
+            row = extrapolate_table1(row, scale_factor_to_full(w))
+        rows.append(row)
+    return rows
+
+
+def table2_rows(workloads: Iterable[GeneratedWorkload]) -> list[Table2Row]:
+    return [summarize_table2(w) for w in workloads]

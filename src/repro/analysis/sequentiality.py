@@ -1,0 +1,106 @@
+"""Sequentiality and regularity metrics (section 5.2).
+
+The paper's key structural findings:
+
+* file accesses are *highly sequential* (each request starts where the
+  file's previous request ended);
+* request sizes are *regular* ("each program had a typical I/O request
+  size which stayed constant throughout the program");
+* "a very large majority of the accesses went to only a small number of
+  files".
+
+These are also exactly the properties the trace compression and the
+read-ahead policy exploit, so the metrics double as predictors for both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.array import TraceArray
+
+
+@dataclass(frozen=True)
+class SequentialityReport:
+    """Trace-wide sequential/regularity metrics."""
+
+    n_ios: int
+    #: fraction of I/Os sequential with the same file's previous I/O
+    sequential_fraction: float
+    #: fraction of I/Os with the same size as the same file's previous I/O
+    same_size_fraction: float
+    #: fraction of I/Os that are sequential AND same-size (the pattern
+    #: read-ahead predicts perfectly)
+    predictable_fraction: float
+    #: number of distinct request sizes across the trace
+    n_distinct_sizes: int
+    #: fraction of all I/Os that use the single most common size
+    dominant_size_fraction: float
+    #: most common request size in bytes
+    dominant_size: int
+
+
+def per_file_flags(trace: TraceArray) -> tuple[np.ndarray, np.ndarray]:
+    """(sequential, same_size) boolean flags per record.
+
+    A record is *sequential* if its offset equals the previous same-file
+    record's ``offset + length``; *same-size* if its length equals that
+    record's length.  First accesses to a file are neither.
+    """
+    n = len(trace)
+    sequential = np.zeros(n, dtype=bool)
+    same_size = np.zeros(n, dtype=bool)
+    for fid in trace.file_ids():
+        idx = np.flatnonzero(trace.file_id == fid)
+        if idx.size < 2:
+            continue
+        offs = trace.offset[idx]
+        lens = trace.length[idx]
+        sequential[idx[1:]] = offs[1:] == offs[:-1] + lens[:-1]
+        same_size[idx[1:]] = lens[1:] == lens[:-1]
+    return sequential, same_size
+
+
+def analyze_sequentiality(trace: TraceArray) -> SequentialityReport:
+    n = len(trace)
+    if n == 0:
+        return SequentialityReport(0, 0.0, 0.0, 0.0, 0, 0.0, 0)
+    sequential, same_size = per_file_flags(trace)
+    sizes, counts = np.unique(trace.length, return_counts=True)
+    top = int(np.argmax(counts))
+    return SequentialityReport(
+        n_ios=n,
+        sequential_fraction=float(sequential.mean()),
+        same_size_fraction=float(same_size.mean()),
+        predictable_fraction=float((sequential & same_size).mean()),
+        n_distinct_sizes=int(sizes.size),
+        dominant_size_fraction=float(counts[top]) / n,
+        dominant_size=int(sizes[top]),
+    )
+
+
+@dataclass(frozen=True)
+class FileConcentrationReport:
+    """How concentrated the accesses are on few files."""
+
+    n_files: int
+    #: smallest number of files covering >= 90% of all accesses
+    files_for_90_percent: int
+    #: fraction of accesses going to the single busiest file
+    top_file_fraction: float
+
+
+def analyze_file_concentration(trace: TraceArray) -> FileConcentrationReport:
+    if len(trace) == 0:
+        return FileConcentrationReport(0, 0, 0.0)
+    _, counts = np.unique(trace.file_id, return_counts=True)
+    counts = np.sort(counts)[::-1]
+    cumulative = np.cumsum(counts) / len(trace)
+    k90 = int(np.searchsorted(cumulative, 0.9) + 1)
+    return FileConcentrationReport(
+        n_files=int(counts.size),
+        files_for_90_percent=k90,
+        top_file_fraction=float(counts[0]) / len(trace),
+    )

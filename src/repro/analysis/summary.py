@@ -1,0 +1,122 @@
+"""Table 1 and Table 2 summaries of a trace.
+
+Table 1 characterizes each traced application: running time, total data
+size, total I/O done, number of I/Os, average I/O size, MB/sec and
+I/Os/sec.  Table 2 splits rates by direction and adds the read/write
+ratio.  All rates are "per second of CPU time used by the process", as
+the paper emphasizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.array import TraceArray
+from repro.util.units import KB, MB
+from repro.workloads.base import GeneratedWorkload
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One application's Table 1 entry, as measured from a trace."""
+
+    name: str
+    running_seconds: float
+    data_size_mb: float
+    total_io_mb: float
+    n_ios: int
+    avg_io_mb: float
+    mb_per_sec: float
+    ios_per_sec: float
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One application's Table 2 entry, as measured from a trace."""
+
+    name: str
+    read_mb_per_sec: float
+    write_mb_per_sec: float
+    read_ios_per_sec: float
+    write_ios_per_sec: float
+    avg_io_kb: float
+    rw_data_ratio: float
+
+
+def summarize_table1(workload: GeneratedWorkload) -> Table1Row:
+    trace = workload.trace
+    cpu = workload.cpu_seconds
+    total_mb = trace.total_bytes / MB
+    n = len(trace)
+    return Table1Row(
+        name=workload.name,
+        running_seconds=cpu,
+        data_size_mb=workload.data_size_bytes / MB,
+        total_io_mb=total_mb,
+        n_ios=n,
+        avg_io_mb=total_mb / n if n else 0.0,
+        mb_per_sec=total_mb / cpu if cpu else 0.0,
+        ios_per_sec=n / cpu if cpu else 0.0,
+    )
+
+
+def summarize_table2(workload: GeneratedWorkload) -> Table2Row:
+    trace = workload.trace
+    cpu = workload.cpu_seconds
+    read_bytes = trace.read_bytes
+    write_bytes = trace.write_bytes
+    n_reads = int(trace.is_read.sum())
+    n_writes = len(trace) - n_reads
+    n = len(trace)
+    return Table2Row(
+        name=workload.name,
+        read_mb_per_sec=read_bytes / MB / cpu if cpu else 0.0,
+        write_mb_per_sec=write_bytes / MB / cpu if cpu else 0.0,
+        read_ios_per_sec=n_reads / cpu if cpu else 0.0,
+        write_ios_per_sec=n_writes / cpu if cpu else 0.0,
+        avg_io_kb=(read_bytes + write_bytes) / KB / n if n else 0.0,
+        rw_data_ratio=read_bytes / write_bytes if write_bytes else float("inf"),
+    )
+
+
+def scale_factor_to_full(workload: GeneratedWorkload) -> float:
+    """Multiplier taking a scaled run's totals to full-run estimates.
+
+    Rates are scale-invariant; totals (total I/O, I/O count) of a run
+    generated at ``scale < 1`` are extrapolated by the ratio of the paper
+    running time to the measured CPU time.
+    """
+    if workload.cpu_seconds <= 0:
+        return 1.0
+    return workload.paper.running_seconds / workload.cpu_seconds
+
+
+def extrapolate_table1(row: Table1Row, factor: float) -> Table1Row:
+    """Scale a Table 1 row's totals to full-run estimates."""
+    return Table1Row(
+        name=row.name,
+        running_seconds=row.running_seconds * factor,
+        data_size_mb=row.data_size_mb,
+        total_io_mb=row.total_io_mb * factor,
+        n_ios=int(round(row.n_ios * factor)),
+        avg_io_mb=row.avg_io_mb,
+        mb_per_sec=row.mb_per_sec,
+        ios_per_sec=row.ios_per_sec,
+    )
+
+
+def trace_table1(name: str, trace: TraceArray, data_size_bytes: int = 0) -> Table1Row:
+    """Table 1 row straight from a trace (for externally loaded traces)."""
+    cpu = trace.cpu_seconds()
+    total_mb = trace.total_bytes / MB
+    n = len(trace)
+    return Table1Row(
+        name=name,
+        running_seconds=cpu,
+        data_size_mb=data_size_bytes / MB,
+        total_io_mb=total_mb,
+        n_ios=n,
+        avg_io_mb=total_mb / n if n else 0.0,
+        mb_per_sec=total_mb / cpu if cpu else 0.0,
+        ios_per_sec=n / cpu if cpu else 0.0,
+    )

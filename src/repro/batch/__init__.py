@@ -1,0 +1,35 @@
+"""Batch job scheduling by memory queues (section 2.2).
+
+"Batch jobs ... are queued according to two resource requirements -- CPU
+time and memory space.  As the Cray Y-MP does not have virtual memory,
+all of a program's memory must be contiguously allocated when the
+program starts up ... To simplify memory allocation, each queue is given
+a fixed memory space ... for a given amount of CPU time required by an
+application, turnaround time is shortest for the application which
+requires the least main memory.  Programmers take advantage of this by
+structuring their program to use smaller in-memory data structures while
+staging data to/from SSD or disk."
+
+This package simulates that queueing discipline, so the venus designer's
+tradeoff -- shrink memory, inflate I/O, win on turnaround -- can be
+measured rather than asserted.
+"""
+
+from repro.batch.queues import (
+    BatchSimulator,
+    Job,
+    JobOutcome,
+    QueueConfig,
+    default_queues,
+)
+from repro.batch.tradeoff import TradeoffResult, venus_design_tradeoff
+
+__all__ = [
+    "BatchSimulator",
+    "Job",
+    "JobOutcome",
+    "QueueConfig",
+    "default_queues",
+    "TradeoffResult",
+    "venus_design_tradeoff",
+]

@@ -1,0 +1,214 @@
+"""Command-line interface.
+
+Usage (``python -m repro <command>``):
+
+* ``experiments`` -- list every reproducible table/figure/claim;
+* ``run EXPID [--scale S]`` -- reproduce one of them and print the report;
+* ``generate APP -o FILE [--scale S] [--seed N]`` -- write a calibrated
+  synthetic trace in the paper's ASCII format;
+* ``analyze FILE`` -- Table-1/2-style summary, sequentiality and class
+  breakdown of any trace file;
+* ``simulate FILE [FILE...] [--cache-mb M] [--block-kb K] [--ssd]
+  [--no-read-ahead] [--no-write-behind] [--cpus N]`` -- replay trace
+  files through the buffering simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.classify import classify_trace
+from repro.analysis.sequentiality import analyze_sequentiality
+from repro.analysis.summary import trace_table1
+from repro.core.registry import EXPERIMENTS, run_experiment
+from repro.core.study import Study
+from repro.sim.config import CacheConfig, SimConfig, ssd_cache
+from repro.sim.system import simulate
+from repro.trace.io import read_trace_array, write_trace_array
+from repro.util.units import KB, MB
+from repro.workloads.base import available_models, generate_workload
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    for exp_id, exp in EXPERIMENTS.items():
+        print(f"{exp_id:16s} [section {exp.paper_section}] {exp.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    study = Study(scale=args.scale)
+    try:
+        print(run_experiment(args.experiment, study))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.app not in available_models():
+        print(
+            f"unknown application {args.app!r}; known: "
+            f"{', '.join(available_models())}",
+            file=sys.stderr,
+        )
+        return 2
+    workload = generate_workload(args.app, scale=args.scale, seed=args.seed)
+    header = [
+        f"synthetic {workload.name} trace, scale={workload.scale}, "
+        f"seed={args.seed}"
+    ] + [c.text for c in workload.comments]
+    stats = write_trace_array(
+        args.output, workload.trace, header_comments=header,
+        omit_operation_ids=True,
+    )
+    print(
+        f"wrote {stats.records} records to {args.output} "
+        f"({stats.bytes_written} bytes, "
+        f"{stats.bytes_written / max(1, stats.records):.1f} B/record)"
+    )
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    trace = read_trace_array(args.trace)
+    if len(trace) == 0:
+        print("trace is empty", file=sys.stderr)
+        return 1
+    row = trace_table1(args.trace, trace)
+    print(f"records:        {row.n_ios}")
+    print(f"CPU time:       {row.running_seconds:.2f} s")
+    print(f"total I/O:      {row.total_io_mb:.1f} MB "
+          f"({row.mb_per_sec:.2f} MB/s, {row.ios_per_sec:.1f} I/Os/s)")
+    print(f"avg request:    {row.avg_io_mb * 1024:.1f} KB")
+    reads = trace.read_bytes
+    writes = trace.write_bytes
+    ratio = reads / writes if writes else float("inf")
+    print(f"read/write:     {ratio:.2f} (data)")
+    seq = analyze_sequentiality(trace)
+    print(
+        f"sequentiality:  {seq.sequential_fraction:.1%} sequential, "
+        f"{seq.same_size_fraction:.1%} same-size, dominant "
+        f"{seq.dominant_size // 1024} KB"
+    )
+    cls = classify_trace(trace, max(row.running_seconds, 1e-9))
+    for io_class, breakdown in cls.breakdown.items():
+        if breakdown.n_ios:
+            print(
+                f"  {io_class.value:10s} {breakdown.n_ios:8d} I/Os  "
+                f"{breakdown.total_bytes / MB:10.1f} MB  "
+                f"{breakdown.mb_per_sec:8.3f} MB/s  "
+                f"({breakdown.n_files} file(s))"
+            )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    traces = []
+    stride = 1_000_000
+    for i, path in enumerate(args.traces):
+        trace = read_trace_array(path)
+        pids = trace.process_ids()
+        if len(pids) != 1:
+            print(f"{path}: need single-process traces", file=sys.stderr)
+            return 2
+        trace = trace.with_process_id(i + 1)
+        if not args.share_files:
+            # Distinct instances must not alias each other's data sets
+            # (the paper ran copies "not sharing data sets").
+            cols = trace.columns().copy()
+            cols["file_id"] = trace.file_id + i * stride
+            trace = type(trace)(**cols)
+        traces.append(trace)
+    cache_kwargs = dict(
+        block_bytes=int(args.block_kb * KB),
+        read_ahead=not args.no_read_ahead,
+        write_behind=not args.no_write_behind,
+    )
+    if args.ssd:
+        cache = ssd_cache(int(args.cache_mb * MB), **cache_kwargs)
+    else:
+        cache = CacheConfig(size_bytes=int(args.cache_mb * MB), **cache_kwargs)
+    config = SimConfig(cache=cache).with_scheduler(n_cpus=args.cpus)
+    result = simulate(traces, config)
+    print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Miller 1991, 'Input/Output Behavior of "
+            "Supercomputing Applications'"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list reproducible experiments")
+
+    p_run = sub.add_parser("run", help="reproduce one table/figure/claim")
+    p_run.add_argument("experiment", help="experiment id (see `experiments`)")
+    p_run.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale in (0,1]; default: per-app presets",
+    )
+
+    p_gen = sub.add_parser("generate", help="write a synthetic trace file")
+    p_gen.add_argument("app", help="application model name")
+    p_gen.add_argument("-o", "--output", required=True)
+    p_gen.add_argument("--scale", type=float, default=0.1)
+    p_gen.add_argument("--seed", type=int, default=19910616)
+
+    p_an = sub.add_parser("analyze", help="summarize a trace file")
+    p_an.add_argument("trace")
+
+    p_sim = sub.add_parser("simulate", help="replay traces through the cache")
+    p_sim.add_argument("traces", nargs="+")
+    p_sim.add_argument("--cache-mb", type=float, default=32.0)
+    p_sim.add_argument("--block-kb", type=float, default=4.0)
+    p_sim.add_argument("--ssd", action="store_true")
+    p_sim.add_argument("--no-read-ahead", action="store_true")
+    p_sim.add_argument("--no-write-behind", action="store_true")
+    p_sim.add_argument("--cpus", type=int, default=1)
+    p_sim.add_argument(
+        "--share-files",
+        action="store_true",
+        help="let the traces address the same files (default: each trace "
+        "gets a private file-id space, like the paper's non-sharing copies)",
+    )
+
+    p_fig = sub.add_parser("figures", help="render the figures to SVG+CSV")
+    p_fig.add_argument("--out", default="figures")
+    p_fig.add_argument("--scale", type=float, default=None)
+    return parser
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.core.figures import save_figures
+
+    written = save_figures(Study(scale=args.scale), args.out)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "experiments": _cmd_experiments,
+    "run": _cmd_run,
+    "generate": _cmd_generate,
+    "analyze": _cmd_analyze,
+    "simulate": _cmd_simulate,
+    "figures": _cmd_figures,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

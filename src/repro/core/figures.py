@@ -1,0 +1,85 @@
+"""Render the paper's figures to SVG files.
+
+``save_figures(study, outdir)`` writes one ``figN.svg`` (plus a CSV of
+the underlying series) per reproduced figure; the CLI exposes it as
+``python -m repro figures --out DIR``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.rates import rate_series_csv
+from repro.core.study import Study
+from repro.util.svgplot import SVGChart, line_chart
+
+
+def _save(chart, csv_text: str, outdir: Path, stem: str) -> list[Path]:
+    svg_path = outdir / f"{stem}.svg"
+    chart.save(svg_path)
+    csv_path = outdir / f"{stem}.csv"
+    csv_path.write_text(csv_text)
+    return [svg_path, csv_path]
+
+
+def save_figures(study: Study | None = None, outdir: str | Path = ".") -> list[Path]:
+    """Write fig3/fig4/fig6/fig7/fig8 SVG+CSV files; returns the paths."""
+    study = study if study is not None else Study()
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    # Figures 3 and 4: per-application demand curves.
+    for stem, name, fig in (("fig3", "venus", "Figure 3"), ("fig4", "les", "Figure 4")):
+        series = study.app_rate_series(name)
+        chart = line_chart(
+            series.times,
+            series.rates,
+            title=f"{fig}: data rate over time for {name}",
+            x_label="process CPU time (seconds)",
+            y_label="MB per CPU second",
+        )
+        written += _save(chart, rate_series_csv(series), outdir, stem)
+
+    # Figures 6 and 7: disk traffic under the two cache configurations.
+    for stem, run, fig in (
+        ("fig6", study.figure6(), "Figure 6 (32 MB memory cache)"),
+        ("fig7", study.figure7(), "Figure 7 (128 MB SSD cache)"),
+    ):
+        rate = run.result.disk_rate
+        chart = line_chart(
+            rate.times,
+            rate.rates,
+            title=f"{fig}: disk traffic, 2 x venus",
+            x_label="wall time (seconds)",
+            y_label="MB/s to disk",
+        )
+        written += _save(chart, rate_series_csv(rate), outdir, stem)
+
+    # Figure 8: idle vs cache size, one line per block size.
+    points = study.figure8()
+    chart = SVGChart(
+        title="Figure 8: idle time vs cache size (two venus instances)",
+        x_label="cache size (MB)",
+        y_label="idle seconds",
+    )
+    all_x = [p.cache_mb for p in points]
+    all_y = [p.idle_seconds for p in points]
+    chart.set_ranges(all_x, all_y)
+    chart.add_axes()
+    csv_lines = ["block_kb,cache_mb,idle_seconds,utilization"]
+    for i, block_kb in enumerate(sorted({p.block_kb for p in points})):
+        sub = [p for p in points if p.block_kb == block_kb]
+        sub.sort(key=lambda p: p.cache_mb)
+        chart.add_line(
+            [p.cache_mb for p in sub],
+            [p.idle_seconds for p in sub],
+            series=i,
+            label=f"{block_kb:g}K blocks",
+        )
+        csv_lines += [
+            f"{p.block_kb:g},{p.cache_mb:g},{p.idle_seconds:.3f},{p.utilization:.4f}"
+            for p in sub
+        ]
+    written += _save(chart, "\n".join(csv_lines) + "\n", outdir, "fig8")
+    return written

@@ -1,0 +1,37 @@
+"""File-system block layout: the physical half of the trace format.
+
+"While we only collected logical-level trace data on the Cray, we
+included provisions for our trace format to include physical I/Os as
+well."  This package exercises those provisions: an extent-based block
+allocator lays files out on a simulated disk, a translator expands each
+logical record into the physical-block records it implies (linked by
+``operationId``, exactly as the format's field documentation describes),
+and the analysis helpers quantify what the logical level hides --
+fragmentation-induced seeks and block-rounding amplification.
+"""
+
+from repro.fslayout.allocator import BlockAllocator, Extent, FileLayout
+from repro.fslayout.translate import (
+    PhysicalTranslation,
+    layout_for_trace,
+    translate_trace,
+)
+from repro.fslayout.analysis import (
+    PhysicalReport,
+    amplification_factor,
+    analyze_physical,
+    seek_distances,
+)
+
+__all__ = [
+    "BlockAllocator",
+    "Extent",
+    "FileLayout",
+    "PhysicalTranslation",
+    "layout_for_trace",
+    "translate_trace",
+    "PhysicalReport",
+    "amplification_factor",
+    "analyze_physical",
+    "seek_distances",
+]

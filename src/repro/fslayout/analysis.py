@@ -1,0 +1,82 @@
+"""What the physical level shows that the logical level hides.
+
+Two quantities matter for the paper's disk model:
+
+* **seek distance** between consecutive physical accesses on the disk --
+  the "closeness" the simulator's service time depends on; interleaved
+  (fragmented) layouts turn logically sequential streams into seeky
+  physical ones;
+* **amplification** -- physical bytes moved per logical byte requested,
+  from rounding requests out to 512-byte blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fslayout.translate import PhysicalTranslation
+from repro.trace.array import TraceArray
+
+
+def seek_distances(physical: TraceArray) -> np.ndarray:
+    """|start - previous end| per consecutive physical access (bytes)."""
+    if len(physical) < 2:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(physical.start_time, kind="stable")
+    offs = physical.offset[order]
+    lens = physical.length[order]
+    return np.abs(offs[1:] - (offs[:-1] + lens[:-1]))
+
+
+def amplification_factor(translation: PhysicalTranslation) -> float:
+    """Physical bytes moved per logical byte requested (>= 1)."""
+    logical_bytes = translation.logical.total_bytes
+    if logical_bytes == 0:
+        return 0.0
+    return translation.physical.total_bytes / logical_bytes
+
+
+@dataclass(frozen=True)
+class PhysicalReport:
+    """Summary of a logical-to-physical translation."""
+
+    n_logical: int
+    n_physical: int
+    amplification: float
+    #: physical records per logical record (fragmentation fan-out)
+    fan_out: float
+    #: fraction of consecutive physical accesses that are sequential
+    sequential_fraction: float
+    median_seek_bytes: float
+    #: extents per file, worst case
+    max_extents: int
+
+    def __str__(self) -> str:  # pragma: no cover - presentation
+        return (
+            f"{self.n_logical} logical -> {self.n_physical} physical records "
+            f"(fan-out {self.fan_out:.2f}, amplification {self.amplification:.3f}); "
+            f"{self.sequential_fraction:.1%} sequential on disk, "
+            f"median seek {self.median_seek_bytes:.0f} B, "
+            f"max {self.max_extents} extents/file"
+        )
+
+
+def analyze_physical(translation: PhysicalTranslation) -> PhysicalReport:
+    physical = translation.physical
+    n_logical = len(translation.logical)
+    n_physical = len(physical)
+    seeks = seek_distances(physical)
+    return PhysicalReport(
+        n_logical=n_logical,
+        n_physical=n_physical,
+        amplification=amplification_factor(translation),
+        fan_out=n_physical / n_logical if n_logical else 0.0,
+        sequential_fraction=float((seeks == 0).mean()) if seeks.size else 0.0,
+        median_seek_bytes=float(np.median(seeks)) if seeks.size else 0.0,
+        max_extents=max(
+            (layout.n_extents for layout in translation.layouts.values()),
+            default=0,
+        ),
+    )

@@ -1,0 +1,37 @@
+"""Simulated application runtime: the substrate the workload models run on.
+
+The paper could not modify UNICOS; it instrumented the user-level I/O
+libraries instead.  This package reproduces that stack in simulation:
+
+* :mod:`repro.runtime.clock` -- per-process wall/CPU clock pair in 10 us
+  ticks (the Cray's real-time register downconverted, and the process CPU
+  timer).
+* :mod:`repro.runtime.files` -- a simulated file namespace with sizes.
+* :mod:`repro.runtime.latency` -- nominal device latency models used to
+  charge synchronous I/O wait while *generating* traces (the buffering
+  simulator later recomputes I/O times under its own device models).
+* :mod:`repro.runtime.api` -- the application-facing file API
+  (open/seek/read/write/close plus asynchronous reada/writea, mirroring
+  the Cray's async I/O the `les` code used).
+* :mod:`repro.runtime.tracer` -- the "library hook": observes every
+  read/write call, stamps it with both clocks, and submits it to a
+  :class:`~repro.trace.procstat.ProcstatCollector`.
+"""
+
+from repro.runtime.clock import ProcessClock
+from repro.runtime.files import FileSystem, SimulatedFile
+from repro.runtime.latency import DeviceLatencyModel, DISK_PROFILE, SSD_PROFILE
+from repro.runtime.api import AppRuntime, AsyncRequest
+from repro.runtime.tracer import LibraryTracer
+
+__all__ = [
+    "ProcessClock",
+    "FileSystem",
+    "SimulatedFile",
+    "DeviceLatencyModel",
+    "DISK_PROFILE",
+    "SSD_PROFILE",
+    "AppRuntime",
+    "AsyncRequest",
+    "LibraryTracer",
+]

@@ -1,0 +1,48 @@
+"""Per-process clocks in 10 us trace ticks.
+
+A traced application sees two clocks (section 4.1): total elapsed wall
+time (the CPU's cycle counter) and process CPU time.  Computation
+advances both; waiting for synchronous I/O advances only the wall clock.
+This is what lets the paper "filter the effects of multiprogramming".
+"""
+
+from __future__ import annotations
+
+from repro.util.units import seconds_to_ticks, ticks_to_seconds
+
+
+class ProcessClock:
+    """Wall-clock and CPU-clock pair for one simulated process."""
+
+    def __init__(self, start_wall: int = 0):
+        if start_wall < 0:
+            raise ValueError("start_wall must be nonnegative")
+        self.wall = start_wall
+        self.cpu = 0
+
+    def compute(self, ticks: int) -> None:
+        """Burn CPU: advances both clocks by ``ticks``."""
+        if ticks < 0:
+            raise ValueError("cannot compute for negative ticks")
+        self.wall += ticks
+        self.cpu += ticks
+
+    def compute_seconds(self, seconds: float) -> None:
+        self.compute(seconds_to_ticks(seconds))
+
+    def stall(self, ticks: int) -> None:
+        """Wait (e.g. for synchronous I/O): advances only the wall clock."""
+        if ticks < 0:
+            raise ValueError("cannot stall for negative ticks")
+        self.wall += ticks
+
+    @property
+    def wall_seconds(self) -> float:
+        return ticks_to_seconds(self.wall)
+
+    @property
+    def cpu_seconds(self) -> float:
+        return ticks_to_seconds(self.cpu)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcessClock(wall={self.wall}, cpu={self.cpu})"

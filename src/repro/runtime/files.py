@@ -1,0 +1,73 @@
+"""Simulated file namespace.
+
+Only metadata is simulated: each file has a name and a byte size.  No
+data contents are stored -- the traces record offsets and lengths, never
+payloads.  Sizes matter because Table 1's "total data size" column is the
+sum of the sizes of all files each program accessed, and because reads
+past end-of-file are application bugs we want to catch in the workload
+models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import RuntimeAPIError
+
+
+@dataclass
+class SimulatedFile:
+    """One file: a name and a size that grows when written past the end."""
+
+    name: str
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError("file size must be nonnegative")
+
+    def extend_to(self, end_offset: int) -> None:
+        if end_offset > self.size:
+            self.size = end_offset
+
+
+@dataclass
+class FileSystem:
+    """A flat namespace of simulated files shared by processes."""
+
+    files: dict[str, SimulatedFile] = field(default_factory=dict)
+
+    def create(self, name: str, size: int = 0) -> SimulatedFile:
+        """Create a file (error if it exists)."""
+        if name in self.files:
+            raise RuntimeAPIError(f"file {name!r} already exists")
+        f = SimulatedFile(name, size)
+        self.files[name] = f
+        return f
+
+    def lookup(self, name: str) -> SimulatedFile:
+        try:
+            return self.files[name]
+        except KeyError:
+            raise RuntimeAPIError(f"no such file: {name!r}") from None
+
+    def exists(self, name: str) -> bool:
+        return name in self.files
+
+    def open_or_create(self, name: str) -> SimulatedFile:
+        if name in self.files:
+            return self.files[name]
+        return self.create(name)
+
+    def unlink(self, name: str) -> None:
+        if name not in self.files:
+            raise RuntimeAPIError(f"no such file: {name!r}")
+        del self.files[name]
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all file sizes (Table 1's "total data size")."""
+        return sum(f.size for f in self.files.values())
+
+    def __len__(self) -> int:
+        return len(self.files)

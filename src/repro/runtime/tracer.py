@@ -1,0 +1,68 @@
+"""The library-level tracing hook.
+
+On the Cray, tracing lived in the user I/O libraries: "Instead of
+modifying the operating system, we changed the user libraries dealing
+with I/O."  Here the hook is a :class:`LibraryTracer` object the
+:class:`~repro.runtime.api.AppRuntime` calls on every read/write.  It
+
+* allocates trace-unique file ids (one per *open*, per the format's rule
+  that "if the same file was opened twice by a program, it received two
+  different identifiers"),
+* allocates trace-unique operation ids (one per read/write call),
+* remembers the file-id -> file-name correspondence as comment text
+  (the paper recorded these in ``TRACE_COMMENT`` records), and
+* delivers each :class:`~repro.trace.packets.IOEvent` either to an
+  in-memory list or to a :class:`~repro.trace.procstat.ProcstatCollector`.
+"""
+
+from __future__ import annotations
+
+from repro.trace.packets import IOEvent
+from repro.trace.procstat import ProcstatCollector
+from repro.trace.record import CommentRecord, file_name_comment
+
+
+class LibraryTracer:
+    """Collects I/O events from one or more :class:`AppRuntime` processes.
+
+    Share a single tracer between runtimes when tracing a multi-process
+    workload: file ids and operation ids are then unique across the whole
+    trace, which the format prefers.
+    """
+
+    def __init__(self, collector: ProcstatCollector | None = None):
+        self._collector = collector
+        self.events: list[IOEvent] = []
+        self.comments: list[CommentRecord] = []
+        self._next_file_id = 1
+        self._next_operation_id = 1
+        self.overhead_events = 0
+
+    def register_open(self, name: str, process_id: int) -> int:
+        """Allocate a fresh file id for an open and log the name mapping."""
+        file_id = self._next_file_id
+        self._next_file_id += 1
+        self.comments.append(file_name_comment(file_id, name))
+        return file_id
+
+    def next_operation_id(self) -> int:
+        op = self._next_operation_id
+        self._next_operation_id += 1
+        return op
+
+    def record(self, event: IOEvent) -> None:
+        """Deliver one event (called from the instrumented library)."""
+        if self._collector is not None:
+            self._collector.submit(event)
+        else:
+            self.events.append(event)
+
+    def close(self) -> None:
+        if self._collector is not None:
+            self._collector.close()
+
+    def __enter__(self) -> "LibraryTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,155 @@
+"""Simulator configuration.
+
+One :class:`SimConfig` captures every knob section 6 describes:
+
+* the scheduler's quantum and overheads ("a simple round-robin scheduler
+  with a quantum that can be specified each time it is run.  The
+  process-switching overhead, file system code overhead, and interrupt
+  service time are also parameters");
+* the buffer cache's size, block size, read-ahead and write-behind
+  policies, and the optional per-process buffer-ownership cap whose
+  failure section 6.2 reports;
+* whether the cache is *main memory* (free hits) or the *SSD* ("we
+  treated it as a huge main-memory cache, and added per-block penalties
+  for cache hits ... approximately 1 us per kilobyte transferred (at
+  1 GB/sec), with some additional overhead to set up the transfer");
+* the disk model's timing constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.util.units import KB, MB
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """Analytic disk-timing model (no queueing, per the paper)."""
+
+    bandwidth_bytes_per_sec: float = 9.6 * MB
+    #: fixed controller/OS overhead per request
+    base_overhead_s: float = 1.0e-3
+    #: seek cost when the request is not sequential with the previous
+    #: access to the same file; scales with logical distance up to max.
+    min_seek_s: float = 5.0e-3
+    max_seek_s: float = 25.0e-3
+    #: logical distance at which seek cost saturates at max_seek_s
+    seek_span_bytes: int = 1024 * MB
+    #: full platter rotation ("the Cray Y-MP disks seek relatively
+    #: slowly"; DD-49-class drives rotate in ~16.7 ms)
+    rotation_period_s: float = 16.7e-3
+    #: number of spindles files are spread over; 0 = one disk per file
+    #: (the logical-trace default: "it was impossible to map requests to
+    #: individual disks"), a positive value hashes files onto that many
+    #: disks so their head positions interfere
+    n_disks: int = 0
+
+    def mean_positioning_s(self) -> float:
+        """Average non-sequential positioning cost (seek + half turn)."""
+        return (
+            self.base_overhead_s
+            + (self.min_seek_s + self.max_seek_s) / 2
+            + self.rotation_period_s / 2
+        )
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Buffer cache geometry and policies."""
+
+    size_bytes: int = 32 * MB
+    block_bytes: int = 4 * KB
+    read_ahead: bool = True
+    write_behind: bool = True
+    #: None = unlimited; otherwise the per-process buffer-ownership cap
+    #: (the 6.2 experiment that "actually worsened CPU utilization")
+    max_blocks_per_process: int | None = None
+    #: read-ahead depth in requests; None = auto (deeper when buffer
+    #: space allows, reproducing "the cache did not have enough buffer
+    #: space to allow full read-ahead")
+    read_ahead_depth: int | None = None
+    #: Sprite-style delayed writes (section 2.1): dirty data sits in the
+    #: cache this long before the flush is issued, so short-lived files
+    #: can be deleted without ever reaching the disk.  0 = flush
+    #: immediately (the paper's write-behind).  The paper argues delay
+    #: buys nothing for supercomputer workloads -- "iterations take
+    #: hundreds of seconds and files are hundreds of megabytes long".
+    flush_delay_s: float = 0.0
+    #: SSD-as-cache hit penalties; zero for a main-memory cache
+    hit_setup_s: float = 0.0
+    hit_per_kb_s: float = 0.0
+
+    @property
+    def n_blocks(self) -> int:
+        return max(1, self.size_bytes // self.block_bytes)
+
+    def hit_penalty_s(self, nbytes: int) -> float:
+        if self.hit_setup_s == 0.0 and self.hit_per_kb_s == 0.0:
+            return 0.0
+        return self.hit_setup_s + self.hit_per_kb_s * (nbytes / KB)
+
+    def auto_depth(self, request_bytes: int) -> int:
+        """Read-ahead depth achievable for a stream of this request size.
+
+        Depth grows with the buffer space per stream: roughly one request
+        of look-ahead per 16 requests' worth of cache, clamped to [1, 8].
+        """
+        if self.read_ahead_depth is not None:
+            return self.read_ahead_depth
+        request_bytes = max(request_bytes, self.block_bytes)
+        depth = self.size_bytes // (16 * request_bytes)
+        return int(min(8, max(1, depth)))
+
+
+#: SSD penalties from section 6.3: ~1 us/KB at 1 GB/s plus setup.
+SSD_HIT_SETUP_S = 50e-6
+SSD_HIT_PER_KB_S = 1e-6
+
+
+def ssd_cache(size_bytes: int, *, block_bytes: int = 32 * KB, **kw) -> CacheConfig:
+    """A CacheConfig modelling the SSD as a huge cache with hit penalties."""
+    return CacheConfig(
+        size_bytes=size_bytes,
+        block_bytes=block_bytes,
+        hit_setup_s=SSD_HIT_SETUP_S,
+        hit_per_kb_s=SSD_HIT_PER_KB_S,
+        **kw,
+    )
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Round-robin CPU scheduling parameters."""
+
+    #: identical processors sharing one ready queue (the paper models 1;
+    #: the Y-MP had 8 -- see the n+1-rule experiment)
+    n_cpus: int = 1
+    quantum_s: float = 0.05
+    switch_overhead_s: float = 20e-6
+    interrupt_service_s: float = 30e-6
+    #: per-I/O file system code CPU charged by the simulator on top of
+    #: the trace's own process-time deltas (which already include the
+    #: traced system's library path); default 0 to avoid double counting.
+    fs_overhead_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything one simulation run needs."""
+
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    seed: int = 0
+    #: wall-clock bin width for the disk-traffic series (the figures)
+    traffic_bin_s: float = 1.0
+
+    def with_cache(self, **changes) -> "SimConfig":
+        return replace(self, cache=replace(self.cache, **changes))
+
+    def with_scheduler(self, **changes) -> "SimConfig":
+        return replace(self, scheduler=replace(self.scheduler, **changes))
+
+    def with_disk(self, **changes) -> "SimConfig":
+        return replace(self, disk=replace(self.disk, **changes))

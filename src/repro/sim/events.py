@@ -1,0 +1,68 @@
+"""Discrete-event engine.
+
+A minimal calendar: callbacks scheduled at absolute times, executed in
+nondecreasing time order with FIFO tie-breaking (a monotonically
+increasing sequence number).  Everything in the simulator -- quantum
+expiry, disk completion, flusher progress -- is one of these events.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+from repro.util.errors import SimulationError
+
+
+class Engine:
+    """Event calendar and simulated clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._events_run = 0
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute time ``when`` (>= now)."""
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {when} before now={self.now}"
+            )
+        heapq.heappush(self._heap, (when, self._seq, fn))
+        self._seq += 1
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self.schedule_at(self.now + delay, fn)
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def run(self, *, max_events: int | None = None, until: float | None = None) -> None:
+        """Drain the calendar.
+
+        Stops when empty, after ``max_events`` (a runaway guard), or when
+        the next event lies beyond ``until``.
+        """
+        while self._heap:
+            if max_events is not None and self._events_run >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {self._events_run} events"
+                )
+            when, _, fn = self._heap[0]
+            if until is not None and when > until:
+                return
+            heapq.heappop(self._heap)
+            if when < self.now:
+                raise SimulationError("event queue went backwards")
+            self.now = when
+            self._events_run += 1
+            fn()

@@ -1,0 +1,366 @@
+"""Canned section-6 experiments: the figures and claims as functions.
+
+Every table/figure benchmark calls one of these; the examples reuse them
+too.  Each returns plain result objects so callers can print, assert or
+plot as they wish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import CacheConfig, SimConfig, ssd_cache
+from repro.sim.metrics import SimulationResult
+from repro.sim.procmodel import relabel_copies
+from repro.sim.system import simulate
+from repro.trace.array import TraceArray
+from repro.util.units import KB, MB
+from repro.workloads.base import GeneratedWorkload, generate_workload
+
+#: Figure 8's caption: "Execution time would be 761 seconds if there were
+#: no idle time" (two venus runs back to back on one CPU).
+PAPER_TWO_VENUS_NO_IDLE_SECONDS = 761.0
+
+#: Figure 8's cache sizes, in MB.
+FIG8_CACHE_SIZES_MB = (4, 8, 16, 32, 64, 128, 256)
+
+#: Figure 8 compares 4 KB and 8 KB cache blocks.
+FIG8_BLOCK_SIZES_KB = (4, 8)
+
+
+def two_copies(workload: GeneratedWorkload) -> list[TraceArray]:
+    """Two identical instances "running with ... and not sharing data sets"."""
+    return relabel_copies(workload.trace, 2)
+
+
+@dataclass(frozen=True)
+class BufferingRun:
+    """One simulated configuration and its outcome."""
+
+    label: str
+    cache_mb: float
+    block_kb: float
+    result: SimulationResult
+
+    @property
+    def idle_seconds(self) -> float:
+        return self.result.idle_seconds
+
+    @property
+    def utilization(self) -> float:
+        return self.result.utilization
+
+
+def run_two_venus(
+    *,
+    cache_mb: float = 32.0,
+    block_kb: float = 4.0,
+    read_ahead: bool = True,
+    write_behind: bool = True,
+    ssd: bool = False,
+    scale: float = 0.25,
+    seed: int | None = None,
+    max_blocks_per_process: int | None = None,
+) -> BufferingRun:
+    """The paper's workhorse experiment: two venus copies, one CPU."""
+    kwargs = {} if seed is None else {"seed": seed}
+    venus = generate_workload("venus", scale=scale, **kwargs)
+    traces = two_copies(venus)
+    cache_kwargs = dict(
+        read_ahead=read_ahead,
+        write_behind=write_behind,
+        max_blocks_per_process=max_blocks_per_process,
+    )
+    if ssd:
+        cache = ssd_cache(
+            int(cache_mb * MB), block_bytes=int(block_kb * KB), **cache_kwargs
+        )
+    else:
+        cache = CacheConfig(
+            size_bytes=int(cache_mb * MB),
+            block_bytes=int(block_kb * KB),
+            **cache_kwargs,
+        )
+    config = SimConfig(cache=cache)
+    result = simulate(traces, config)
+    kind = "SSD" if ssd else "mem"
+    return BufferingRun(
+        label=f"2xvenus {kind} {cache_mb:g}MB/{block_kb:g}KB "
+        f"ra={'on' if read_ahead else 'off'} wb={'on' if write_behind else 'off'}",
+        cache_mb=cache_mb,
+        block_kb=block_kb,
+        result=result,
+    )
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    cache_mb: float
+    block_kb: float
+    idle_seconds: float
+    utilization: float
+    hit_fraction: float
+
+
+def cache_size_sweep(
+    *,
+    cache_sizes_mb=FIG8_CACHE_SIZES_MB,
+    block_sizes_kb=FIG8_BLOCK_SIZES_KB,
+    scale: float = 0.25,
+    ssd: bool = False,
+) -> list[SweepPoint]:
+    """Figure 8: idle time versus cache size, per block size.
+
+    The venus traces are generated once and re-simulated per
+    configuration, exactly like re-running the paper's simulator with new
+    parameters over fixed trace files.
+    """
+    venus = generate_workload("venus", scale=scale)
+    base_traces = two_copies(venus)
+    points = []
+    for block_kb in block_sizes_kb:
+        for cache_mb in cache_sizes_mb:
+            if ssd:
+                cache = ssd_cache(int(cache_mb * MB), block_bytes=int(block_kb * KB))
+            else:
+                cache = CacheConfig(
+                    size_bytes=int(cache_mb * MB), block_bytes=int(block_kb * KB)
+                )
+            result = simulate(base_traces, SimConfig(cache=cache))
+            points.append(
+                SweepPoint(
+                    cache_mb=cache_mb,
+                    block_kb=block_kb,
+                    idle_seconds=result.idle_seconds,
+                    utilization=result.utilization,
+                    hit_fraction=result.cache.hit_fraction,
+                )
+            )
+    return points
+
+
+def no_idle_execution_seconds(scale: float = 0.25) -> float:
+    """The sweep's "761 seconds" baseline at this scale: total CPU demand."""
+    venus = generate_workload("venus", scale=scale)
+    return 2 * venus.cpu_seconds
+
+
+@dataclass(frozen=True)
+class AppSSDRun:
+    name: str
+    utilization: float
+    #: utilization excluding the cold-start window; the paper's >99%
+    #: figures come from full-length runs where the first sweep's
+    #: compulsory misses amortize away
+    warm_utilization: float
+    idle_seconds: float
+    wall_seconds: float
+    hit_fraction: float
+
+
+def ssd_utilization_per_app(
+    *,
+    ssd_mb: float = 256.0,
+    scales: dict[str, float] | None = None,
+    apps=("bvi", "ccm", "forma", "gcm", "les", "venus", "upw"),
+    warmup_fraction: float = 0.25,
+) -> list[AppSSDRun]:
+    """Section 6.3: each application alone with a 32 MW (256 MB) SSD cache.
+
+    "all but one of the applications nearly completely utilized a Cray
+    Y-MP CPU by itself when using a 32 MW SSD cache."
+    """
+    # Scales are chosen so every app runs at least ~4 cycles: with fewer,
+    # the first (cold) sweep dominates the run and no window is "warm".
+    default_scales = {
+        "bvi": 0.05,
+        "forma": 0.1,
+        "ccm": 0.2,
+        "gcm": 0.2,
+        "les": 0.25,
+        "venus": 0.2,
+        "upw": 0.2,
+    }
+    scales = {**default_scales, **(scales or {})}
+    runs = []
+    for name in apps:
+        w = generate_workload(name, scale=scales[name])
+        config = SimConfig(cache=ssd_cache(int(ssd_mb * MB)))
+        result = simulate([w.trace], config)
+        runs.append(
+            AppSSDRun(
+                name=name,
+                utilization=result.utilization,
+                warm_utilization=result.utilization_after(
+                    warmup_fraction * result.completion_seconds
+                ),
+                idle_seconds=result.idle_seconds,
+                wall_seconds=result.wall_seconds,
+                hit_fraction=result.cache.hit_fraction,
+            )
+        )
+    return runs
+
+
+def writebehind_ablation(
+    *, cache_mb: float = 128.0, scale: float = 0.25, ssd: bool = True
+) -> tuple[BufferingRun, BufferingRun]:
+    """Section 6.2's claim: "writebehind reduced idle time from 211 seconds
+    to 1 second for a simulation of two identical copies of venus running
+    with a 128 MB cache."  Returns (without, with) write-behind.
+    """
+    without = run_two_venus(
+        cache_mb=cache_mb, write_behind=False, scale=scale, ssd=ssd
+    )
+    with_wb = run_two_venus(
+        cache_mb=cache_mb, write_behind=True, scale=scale, ssd=ssd
+    )
+    return without, with_wb
+
+
+def readahead_ablation(
+    *, cache_mb: float = 32.0, scale: float = 0.25
+) -> tuple[BufferingRun, BufferingRun]:
+    """Read-ahead off/on at a main-memory-sized cache."""
+    without = run_two_venus(cache_mb=cache_mb, read_ahead=False, scale=scale)
+    with_ra = run_two_venus(cache_mb=cache_mb, read_ahead=True, scale=scale)
+    return without, with_ra
+
+
+@dataclass(frozen=True)
+class PagingComparison:
+    """Program-controlled staging vs demand-paging-sized requests.
+
+    The decisive metric is completion time for the same useful work:
+    fault-handling CPU inflates the paged run's *utilization* while
+    slowing the program down.
+    """
+
+    staged_completion_s: float
+    paged_completion_s: float
+    staged_utilization: float
+    paged_utilization: float
+    staged_ios_per_sec: float
+    paged_ios_per_sec: float
+
+    @property
+    def staging_wins(self) -> bool:
+        return self.staged_completion_s < self.paged_completion_s
+
+    @property
+    def slowdown(self) -> float:
+        return self.paged_completion_s / self.staged_completion_s
+
+
+def paging_vs_staging(
+    *,
+    page_bytes: int = 16 * KB,
+    cache_mb: float = 32.0,
+    scale: float = 0.08,
+    fault_cpu_s: float = 150e-6,
+) -> PagingComparison:
+    """Section 5.1: "These I/Os are the equivalent of paging under a
+    paging virtual memory operating system ... Even when paging exists,
+    the program is better able than the operating system to predict
+    which data it will need."
+
+    Runs the same venus computation two ways through the same cache:
+
+    * **staged** -- the real model: 456 KB program-chosen requests, with
+      the file system's predictive read-ahead working for it;
+    * **paged** -- the identical byte volume moved in page-sized demand
+      faults: no predictive read-ahead (the VM does not know what comes
+      next) and ``fault_cpu_s`` of kernel fault-handling CPU per page.
+
+    The asymmetry is exactly the paper's argument: prediction, and
+    per-request overhead amortization.
+    """
+    from repro.workloads.apps.venus import VenusModel
+
+    class PagedVenus(VenusModel):
+        """venus forced to page-granular transfers (not registered)."""
+
+        read_chunk = page_bytes
+        write_chunk = page_bytes
+
+    staged_w = VenusModel(scale=scale).generate()
+    paged_w = PagedVenus(scale=scale).generate()
+    staged_config = SimConfig(cache=CacheConfig(size_bytes=int(cache_mb * MB)))
+    paged_config = staged_config.with_cache(
+        size_bytes=int(cache_mb * MB), read_ahead=False
+    ).with_scheduler(fs_overhead_s=fault_cpu_s)
+    staged = simulate([staged_w.trace], staged_config)
+    paged = simulate([paged_w.trace], paged_config)
+    return PagingComparison(
+        staged_completion_s=staged.completion_seconds,
+        paged_completion_s=paged.completion_seconds,
+        staged_utilization=staged.utilization,
+        paged_utilization=paged.utilization,
+        staged_ios_per_sec=len(staged_w.trace) / staged_w.cpu_seconds,
+        paged_ios_per_sec=len(paged_w.trace) / paged_w.cpu_seconds,
+    )
+
+
+@dataclass(frozen=True)
+class NPlusOnePoint:
+    """One (n_cpus, n_jobs) multiprogramming measurement."""
+
+    n_cpus: int
+    n_jobs: int
+    utilization: float
+    idle_seconds: float
+
+
+def n_plus_one_rule(
+    *,
+    app: str = "venus",
+    n_cpus: int = 2,
+    max_extra_jobs: int = 3,
+    cache_mb: float = 48.0,
+    scale: float = 0.1,
+) -> list[NPlusOnePoint]:
+    """Section 2.2's multiprogramming rule, measured.
+
+    "In practice, n+1 jobs resident in main memory will keep n
+    processors busy, given a typical supercomputer workload.  ...  If
+    all currently in-memory programs make many I/O requests, it is
+    likely that more than one will be awaiting I/O all the time."
+
+    Runs ``n_cpus`` CPUs with job counts from ``n_cpus`` up to
+    ``n_cpus + max_extra_jobs`` identical instances of ``app`` and
+    reports the utilizations.  With an I/O-intensive app at a modest
+    cache, n+1 is *not* enough -- the paper's caveat.
+    """
+    workload = generate_workload(app, scale=scale)
+    points = []
+    for extra in range(0, max_extra_jobs + 1):
+        n_jobs = n_cpus + extra
+        traces = relabel_copies(workload.trace, n_jobs)
+        config = SimConfig(
+            cache=CacheConfig(size_bytes=int(cache_mb * MB))
+        ).with_scheduler(n_cpus=n_cpus)
+        result = simulate(traces, config)
+        points.append(
+            NPlusOnePoint(
+                n_cpus=n_cpus,
+                n_jobs=n_jobs,
+                utilization=result.utilization,
+                idle_seconds=result.idle_seconds,
+            )
+        )
+    return points
+
+
+def buffer_cap_ablation(
+    *, cache_mb: float = 32.0, scale: float = 0.25, cap_fraction: float = 0.5
+) -> tuple[BufferingRun, BufferingRun]:
+    """Section 6.2: capping per-process buffer ownership "did not relieve
+    the problem, and actually worsened CPU utilization in several cases."
+    Returns (uncapped, capped at cap_fraction of the cache).
+    """
+    uncapped = run_two_venus(cache_mb=cache_mb, scale=scale)
+    cap_blocks = int(cache_mb * MB / (4 * KB) * cap_fraction)
+    capped = run_two_venus(
+        cache_mb=cache_mb, scale=scale, max_blocks_per_process=cap_blocks
+    )
+    return uncapped, capped

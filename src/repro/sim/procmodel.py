@@ -1,0 +1,189 @@
+"""Trace-driven process replay (section 6.1).
+
+"For each process, there is an input trace in our format, which
+determines the size of each I/O and the elapsed time between it and the
+next I/O."
+
+A :class:`TraceProcess` walks a single-process trace: it computes for
+each record's ``processTime`` delta (plus the configurable per-I/O file
+system overhead), then issues the record's I/O against the buffer cache.
+Synchronous requests block the process until the cache reports
+completion; asynchronous ones (the `les` pattern) let it continue
+immediately -- the cache still moves the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.cache import BufferCache
+from repro.sim.config import SchedulerConfig
+from repro.sim.events import Engine
+from repro.sim.metrics import Metrics
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.trace.array import TraceArray
+from repro.util.errors import SimulationError
+from repro.util.units import ticks_to_seconds
+
+
+class TraceProcess:
+    """One replayed process."""
+
+    def __init__(
+        self,
+        process_id: int,
+        trace: TraceArray,
+        *,
+        engine: Engine,
+        scheduler: RoundRobinScheduler,
+        cache: BufferCache,
+        metrics: Metrics,
+        sched_config: SchedulerConfig,
+        on_finish=None,
+    ):
+        if len(trace.process_ids()) > 1:
+            raise SimulationError(
+                "TraceProcess needs a single-process trace; got "
+                f"{len(trace.process_ids())} process ids"
+            )
+        self.process_id = process_id
+        self.trace = trace
+        self.engine = engine
+        self.scheduler = scheduler
+        self.cache = cache
+        self.metrics = metrics
+        self.sched_config = sched_config
+        self.on_finish = on_finish
+
+        self._deltas_s = trace.process_time_deltas().astype(float) * ticks_to_seconds(1)
+        self._cursor = 0
+        self._pending_compute = float(self._deltas_s[0]) if len(trace) else 0.0
+        self._blocked_at: float | None = None
+        self.finished = len(trace) == 0
+
+    # -- Runnable protocol ---------------------------------------------------
+    def compute_remaining(self) -> float:
+        return self._pending_compute
+
+    def consume_compute(self, seconds: float) -> None:
+        self._pending_compute = max(0.0, self._pending_compute - seconds)
+
+    def on_cpu_available(self) -> bool:
+        """Issue I/Os until we block, finish, or need more compute."""
+        while True:
+            if self._cursor >= len(self.trace):
+                self.finished = True
+                self.scheduler.mark_done(self)
+                if self.on_finish is not None:
+                    self.on_finish(self)
+                return False
+
+            i = self._cursor
+            self._cursor += 1
+            self.metrics.process(self.process_id).n_ios += 1
+            # Load the *next* record's compute demand now; it runs after
+            # this I/O is out the door.
+            if self._cursor < len(self.trace):
+                self._pending_compute = float(self._deltas_s[self._cursor])
+            else:
+                self._pending_compute = 0.0
+            self._pending_compute += self.sched_config.fs_overhead_s
+
+            file_id = int(self.trace.file_id[i])
+            offset = int(self.trace.offset[i])
+            length = int(self.trace.length[i])
+            is_write = bool(self.trace.is_write[i])
+            is_async = bool(self.trace.is_async[i])
+
+            if is_async:
+                # Fire and forget: the cache moves the data; the process's
+                # overlap discipline is already baked into its CPU deltas.
+                self._submit(file_id, offset, length, is_write, on_done=None)
+                if self._pending_compute > 0:
+                    return True
+                continue
+
+            completed_inline = _InlineFlag()
+            self._submit(
+                file_id,
+                offset,
+                length,
+                is_write,
+                on_done=lambda penalty: self._io_done(completed_inline, penalty),
+            )
+            if completed_inline.fired_inline:
+                # Zero-latency completion (e.g. free main-memory hit):
+                # no block at all.
+                if self._pending_compute > 0:
+                    return True
+                continue
+            completed_inline.armed = True
+            self._blocked_at = self.engine.now
+            self.scheduler.mark_blocked(self)
+            return False
+
+    # -- internals ----------------------------------------------------------
+    def _submit(self, file_id, offset, length, is_write, on_done) -> None:
+        callback = on_done if on_done is not None else _noop
+        if is_write:
+            self.cache.write(file_id, offset, length, self.process_id, callback)
+        else:
+            self.cache.read(file_id, offset, length, self.process_id, callback)
+
+    def _io_done(self, flag: "_InlineFlag", cpu_penalty_s: float) -> None:
+        # The SSD copy-through penalty is CPU demand, not a sleep; fold
+        # it into the compute the process owes before its next I/O.
+        self._pending_compute += cpu_penalty_s
+        if not flag.armed:
+            flag.fired_inline = True
+            return
+        if self._blocked_at is not None:
+            self.metrics.process(self.process_id).blocked_seconds += (
+                self.engine.now - self._blocked_at
+            )
+            self._blocked_at = None
+        self.scheduler.unblock(self)
+
+
+class _InlineFlag:
+    """Distinguishes completions that fire before the submit returns."""
+
+    __slots__ = ("armed", "fired_inline")
+
+    def __init__(self) -> None:
+        self.armed = False
+        self.fired_inline = False
+
+
+def _noop(cpu_penalty_s: float = 0.0) -> None:
+    return None
+
+
+def split_trace_by_process(trace: TraceArray) -> dict[int, TraceArray]:
+    """Per-process single-process traces from a merged trace."""
+    return {int(pid): trace.for_process(int(pid)) for pid in trace.process_ids()}
+
+
+def relabel_copies(
+    trace: TraceArray, n_copies: int, *, file_id_stride: int = 1000
+) -> list[TraceArray]:
+    """``n_copies`` independent instances of a single-process trace.
+
+    Each copy gets a distinct process id and a shifted file-id space --
+    the experiments run "two identical copies of venus ... not sharing
+    data sets", so the copies must not alias each other's files.
+    """
+    if len(trace.process_ids()) != 1:
+        raise SimulationError("relabel_copies needs a single-process trace")
+    max_fid = int(trace.file_id.max()) if len(trace) else 0
+    if max_fid >= file_id_stride:
+        raise SimulationError(
+            f"file_id_stride {file_id_stride} too small for max id {max_fid}"
+        )
+    copies = []
+    for k in range(n_copies):
+        cols = trace.columns().copy()
+        cols["process_id"] = np.full(len(trace), k + 1, dtype=np.uint32)
+        cols["file_id"] = trace.file_id + k * file_id_stride
+        copies.append(TraceArray(**cols))
+    return copies

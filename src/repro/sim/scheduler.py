@@ -1,0 +1,156 @@
+"""Round-robin CPU scheduler (section 6.1).
+
+"The simulator uses a simple round-robin scheduler with a quantum that
+can be specified each time it is run."
+
+A FIFO ready queue feeding ``n_cpus`` identical processors (the paper's
+simulator models one CPU; the Y-MP had eight, and section 2.2's "n+1
+jobs resident in main memory will keep n processors busy" rule is an
+experiment in :mod:`repro.sim.experiments`, so the scheduler generalizes
+to n).  A running process either exhausts its compute demand (and asks
+to issue its next I/O) or is preempted at quantum expiry.  Context
+switches cost ``switch_overhead_s``; I/O completions cost
+``interrupt_service_s`` of CPU.  Idle time is whatever processor-time is
+left uncovered -- exactly the quantity Figure 8 plots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Protocol
+
+from repro.sim.config import SchedulerConfig
+from repro.sim.events import Engine
+from repro.sim.metrics import Metrics
+from repro.util.errors import SimulationError
+
+
+class Runnable(Protocol):
+    """What the scheduler needs from a process."""
+
+    process_id: int
+
+    def compute_remaining(self) -> float:
+        """Seconds of CPU wanted before the next I/O (0 = issue now)."""
+        ...
+
+    def consume_compute(self, seconds: float) -> None:
+        ...
+
+    def on_cpu_available(self) -> bool:
+        """Called when compute is exhausted; the process issues I/Os.
+
+        Returns True if the process wants more CPU (stays ready), False
+        if it blocked or finished.
+        """
+        ...
+
+
+class RoundRobinScheduler:
+    """Round-robin dispatch over ``n_cpus`` identical processors."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: SchedulerConfig,
+        metrics: Metrics,
+        *,
+        n_cpus: int = 1,
+    ):
+        if n_cpus < 1:
+            raise SimulationError("need at least one CPU")
+        self.engine = engine
+        self.config = config
+        self.metrics = metrics
+        self.n_cpus = n_cpus
+        self._ready: deque[Runnable] = deque()
+        self._running: dict[int, Runnable] = {}  # cpu index -> process
+        self._free_cpus: list[int] = list(range(n_cpus))
+        self._last_on_cpu: list[Runnable | None] = [None] * n_cpus
+        self._blocked: set[int] = set()
+        self.dispatches = 0
+        self.preemptions = 0
+
+    # -- process lifecycle -------------------------------------------------
+    def add(self, proc: Runnable) -> None:
+        """Admit a process (initially ready)."""
+        self._ready.append(proc)
+        self._maybe_dispatch()
+
+    def unblock(self, proc: Runnable) -> None:
+        """I/O completed: charge interrupt service and make ready."""
+        if proc.process_id not in self._blocked:
+            raise SimulationError(
+                f"process {proc.process_id} was not blocked"
+            )
+        self._blocked.discard(proc.process_id)
+        self.metrics.interrupt_seconds += self.config.interrupt_service_s
+        self.metrics.record_busy_point(
+            self.engine.now, self.config.interrupt_service_s
+        )
+        self._ready.append(proc)
+        self._maybe_dispatch()
+
+    # -- dispatch loop ---------------------------------------------------
+    def _maybe_dispatch(self) -> None:
+        while self._free_cpus and self._ready:
+            cpu = self._free_cpus.pop()
+            proc = self._ready.popleft()
+            self._running[cpu] = proc
+            self.dispatches += 1
+            switch = (
+                self.config.switch_overhead_s
+                if self._last_on_cpu[cpu] is not proc
+                else 0.0
+            )
+            self._last_on_cpu[cpu] = proc
+            if switch:
+                self.metrics.switch_seconds += switch
+                self.metrics.record_busy_point(self.engine.now, switch)
+            self.engine.schedule(switch, lambda p=proc, c=cpu: self._run_slice(p, c))
+
+    def _run_slice(self, proc: Runnable, cpu: int) -> None:
+        remaining = proc.compute_remaining()
+        slice_s = min(self.config.quantum_s, remaining)
+        if slice_s > 0:
+            self.engine.schedule(
+                slice_s, lambda: self._slice_done(proc, cpu, slice_s)
+            )
+        else:
+            self._slice_done(proc, cpu, 0.0)
+
+    def _slice_done(self, proc: Runnable, cpu: int, slice_s: float) -> None:
+        if slice_s > 0:
+            proc.consume_compute(slice_s)
+            self.metrics.busy_seconds += slice_s
+            self.metrics.record_busy(self.engine.now - slice_s, self.engine.now)
+            self.metrics.process(proc.process_id).cpu_seconds += slice_s
+        if proc.compute_remaining() > 0:
+            # Quantum expired mid-compute: rotate to the queue tail.
+            self.preemptions += 1
+            self._release(cpu)
+            self._ready.append(proc)
+            self._maybe_dispatch()
+            return
+        wants_more = proc.on_cpu_available()
+        self._release(cpu)
+        if wants_more:
+            self._ready.append(proc)
+        self._maybe_dispatch()
+
+    def _release(self, cpu: int) -> None:
+        del self._running[cpu]
+        self._free_cpus.append(cpu)
+
+    # -- used by processes --------------------------------------------------
+    def mark_blocked(self, proc: Runnable) -> None:
+        """The running process blocked (called from on_cpu_available)."""
+        self._blocked.add(proc.process_id)
+
+    def mark_done(self, proc: Runnable) -> None:
+        """The running process finished its trace."""
+        self.metrics.process(proc.process_id).finish_time = self.engine.now
+
+    @property
+    def anything_runnable(self) -> bool:
+        return bool(self._running) or bool(self._ready)

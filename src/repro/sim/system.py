@@ -1,0 +1,120 @@
+"""Wiring: traces + config -> one simulated CPU with a cache and a disk.
+
+"We constructed a cache simulator that models the behavior of a single
+CPU with multiple processes making I/O requests."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sim.cache import BufferCache
+from repro.sim.config import SimConfig
+from repro.sim.devices import DiskModel
+from repro.sim.events import Engine
+from repro.sim.metrics import Metrics, SimulationResult
+from repro.sim.procmodel import TraceProcess
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.trace.array import TraceArray
+from repro.util.errors import SimulationError
+from repro.util.timeseries import RateSeries
+
+
+class SimulatedSystem:
+    """One runnable simulation instance."""
+
+    def __init__(self, traces: Sequence[TraceArray], config: SimConfig | None = None):
+        self.config = config if config is not None else SimConfig()
+        if not traces:
+            raise SimulationError("need at least one trace")
+        self.engine = Engine()
+        self.metrics = Metrics(traffic_bin_s=self.config.traffic_bin_s)
+        self.disk = DiskModel(self.config.disk, seed=self.config.seed)
+        # The file system knows each file's size (its inode); the
+        # prefetcher uses it to stop at end-of-file.  Derive sizes from
+        # the traces' furthest accessed offsets.
+        file_sizes: dict[int, int] = {}
+        for trace in traces:
+            if len(trace) == 0:
+                continue
+            ends = trace.offset + trace.length
+            for fid in trace.file_ids():
+                size = int(ends[trace.file_id == fid].max())
+                key = int(fid)
+                if size > file_sizes.get(key, 0):
+                    file_sizes[key] = size
+        self.cache = BufferCache(
+            self.config.cache, self.engine, self.disk, self.metrics,
+            file_sizes=file_sizes,
+        )
+        self.scheduler = RoundRobinScheduler(
+            self.engine,
+            self.config.scheduler,
+            self.metrics,
+            n_cpus=self.config.scheduler.n_cpus,
+        )
+        self.processes: list[TraceProcess] = []
+        seen_pids: set[int] = set()
+        for k, trace in enumerate(traces):
+            pids = trace.process_ids()
+            pid = int(pids[0]) if len(pids) else k + 1
+            if pid in seen_pids:
+                raise SimulationError(
+                    f"duplicate process id {pid}; relabel the traces "
+                    "(see relabel_copies)"
+                )
+            seen_pids.add(pid)
+            self.processes.append(
+                TraceProcess(
+                    pid,
+                    trace,
+                    engine=self.engine,
+                    scheduler=self.scheduler,
+                    cache=self.cache,
+                    metrics=self.metrics,
+                    sched_config=self.config.scheduler,
+                )
+            )
+
+    def run(self, *, max_events: int | None = None) -> SimulationResult:
+        """Run to completion (all processes done, all flushes drained)."""
+        for proc in self.processes:
+            self.scheduler.add(proc)
+        self.engine.run(max_events=max_events)
+        unfinished = [p.process_id for p in self.processes if not p.finished]
+        if unfinished:
+            raise SimulationError(
+                f"simulation drained with unfinished processes: {unfinished}"
+            )
+        finish_times = [
+            p.finish_time
+            for p in self.metrics.processes.values()
+            if p.finish_time is not None
+        ]
+        return SimulationResult(
+            wall_seconds=self.engine.now,
+            completion_seconds=max(finish_times) if finish_times else self.engine.now,
+            n_cpus=self.config.scheduler.n_cpus,
+            busy_seconds=self.metrics.busy_seconds,
+            switch_seconds=self.metrics.switch_seconds,
+            interrupt_seconds=self.metrics.interrupt_seconds,
+            cache=self.metrics.cache,
+            processes=dict(self.metrics.processes),
+            disk_read_rate=RateSeries.from_binned(self.metrics.disk_read_series),
+            disk_write_rate=RateSeries.from_binned(self.metrics.disk_write_series),
+            demand_rate=RateSeries.from_binned(self.metrics.demand_series),
+            busy_rate=RateSeries.from_binned(self.metrics.busy_series),
+            disk_sequential_fraction=self.disk.sequential_fraction,
+            disk_busy_seconds=self.disk.busy_seconds,
+            events_run=self.engine.events_run,
+        )
+
+
+def simulate(
+    traces: Sequence[TraceArray],
+    config: SimConfig | None = None,
+    *,
+    max_events: int | None = None,
+) -> SimulationResult:
+    """One-shot: build and run a :class:`SimulatedSystem`."""
+    return SimulatedSystem(traces, config).run(max_events=max_events)

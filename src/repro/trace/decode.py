@@ -1,0 +1,186 @@
+"""Decoder for the ASCII trace format (inverse of :mod:`repro.trace.encode`).
+
+The decoder maintains the same per-file / per-process reconstruction state
+the appendix specifies and raises :class:`TraceFormatError` on any line
+that references state which does not exist (e.g. an omitted file id before
+the process has touched any file).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.trace import flags as F
+from repro.trace.record import AnyRecord, CommentRecord, TraceRecord
+from repro.util.errors import TraceFormatError
+
+
+@dataclass
+class _FileState:
+    next_offset: int
+    length: int
+    operation_id: int
+
+
+class TraceDecoder:
+    """Stateful line-to-record decoder.
+
+    Lines must be fed in file order; the decoder is streaming and holds
+    only the reconstruction context.
+    """
+
+    def __init__(self) -> None:
+        self._prev_start: int = 0
+        self._prev_process: int | None = None
+        self._file_of_process: dict[int, int] = {}
+        self._files: dict[int, _FileState] = {}
+        self._line_number = 0
+
+    def decode(self, line: str) -> AnyRecord | None:
+        """Decode one line; returns None for blank lines."""
+        self._line_number += 1
+        stripped = line.strip()
+        if not stripped:
+            return None
+        head, _, rest = stripped.partition(" ")
+        try:
+            record_type = int(head)
+        except ValueError as exc:
+            raise TraceFormatError(
+                f"bad recordType field {head!r}", line_number=self._line_number
+            ) from exc
+        if record_type == F.TRACE_COMMENT:
+            return CommentRecord(rest)
+        return self._decode_io(record_type, rest)
+
+    def decode_all(self, lines: Iterable[str]) -> Iterator[AnyRecord]:
+        for line in lines:
+            record = self.decode(line)
+            if record is not None:
+                yield record
+
+    def _fail(self, message: str) -> TraceFormatError:
+        return TraceFormatError(message, line_number=self._line_number)
+
+    def _decode_io(self, record_type: int, rest: str) -> TraceRecord:
+        if record_type > 0xFF or record_type < 0:
+            raise self._fail(f"recordType {record_type} out of range")
+        try:
+            values = [int(tok) for tok in rest.split()]
+        except ValueError as exc:
+            raise self._fail(f"non-integer field in {rest!r}") from exc
+        if not values:
+            raise self._fail("record has no compression field")
+        compression = values[0]
+        if compression & ~F.TRACE_COMPRESSION_MASK:
+            raise self._fail(f"unknown compression bits in {compression:#x}")
+        it = iter(values[1:])
+
+        def take(field_name: str) -> int:
+            try:
+                return next(it)
+            except StopIteration:
+                raise self._fail(f"record truncated before {field_name}") from None
+
+        # -- fields in struct order --------------------------------------
+        offset: int | None = None
+        if not compression & F.TRACE_NO_BLOCK:
+            offset = take("offset")
+            if compression & F.TRACE_OFFSET_IN_BLOCKS:
+                offset *= F.TRACE_BLOCK_SIZE
+        elif compression & F.TRACE_OFFSET_IN_BLOCKS:
+            raise self._fail("TRACE_OFFSET_IN_BLOCKS set on omitted offset")
+
+        length: int | None = None
+        if not compression & F.TRACE_NO_LENGTH:
+            length = take("length")
+            if compression & F.TRACE_LENGTH_IN_BLOCKS:
+                length *= F.TRACE_BLOCK_SIZE
+        elif compression & F.TRACE_LENGTH_IN_BLOCKS:
+            raise self._fail("TRACE_LENGTH_IN_BLOCKS set on omitted length")
+
+        start_delta = take("startTime")
+        if start_delta < 0:
+            raise self._fail(f"negative startTime delta {start_delta}")
+        duration = take("completionTime")
+
+        operation_id: int | None = None
+        if not compression & F.TRACE_NO_OPERATIONID:
+            operation_id = take("operationId")
+
+        file_id: int | None = None
+        if not compression & F.TRACE_NO_FILEID:
+            file_id = take("fileId")
+
+        process_id: int | None = None
+        if not compression & F.TRACE_NO_PROCESSID:
+            process_id = take("processId")
+
+        process_time = take("processTime")
+        extra = list(it)
+        if extra:
+            raise self._fail(f"{len(extra)} trailing field(s): {extra}")
+
+        # -- reconstruct omitted fields -----------------------------------
+        if process_id is None:
+            if self._prev_process is None:
+                raise self._fail("processId omitted on first record")
+            process_id = self._prev_process
+
+        if file_id is None:
+            if process_id not in self._file_of_process:
+                raise self._fail(
+                    f"fileId omitted but process {process_id} has no prior record"
+                )
+            file_id = self._file_of_process[process_id]
+
+        fstate = self._files.get(file_id)
+        if offset is None:
+            if fstate is None:
+                raise self._fail(
+                    f"offset omitted but file {file_id} has no prior record"
+                )
+            offset = fstate.next_offset
+        if length is None:
+            if fstate is None:
+                raise self._fail(
+                    f"length omitted but file {file_id} has no prior record"
+                )
+            length = fstate.length
+        if operation_id is None:
+            if fstate is None:
+                raise self._fail(
+                    f"operationId omitted but file {file_id} has no prior record"
+                )
+            operation_id = fstate.operation_id
+
+        start_time = self._prev_start + start_delta
+
+        record = TraceRecord(
+            record_type=record_type,
+            offset=offset,
+            length=length,
+            start_time=start_time,
+            duration=duration,
+            operation_id=operation_id,
+            file_id=file_id,
+            process_id=process_id,
+            process_time=process_time,
+        )
+
+        # -- update state ---------------------------------------------------
+        self._prev_start = start_time
+        self._prev_process = process_id
+        self._file_of_process[process_id] = file_id
+        self._files[file_id] = _FileState(
+            next_offset=offset + length,
+            length=length,
+            operation_id=operation_id,
+        )
+        return record
+
+
+def decode_lines(lines: Iterable[str]) -> list[AnyRecord]:
+    """One-shot helper: decode all lines and return the records."""
+    return list(TraceDecoder().decode_all(lines))

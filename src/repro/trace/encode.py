@@ -1,0 +1,201 @@
+"""Delta/omission compression encoder for the ASCII trace format.
+
+The format (paper appendix) compresses records two ways:
+
+1. **Time fields are always deltas**: ``startTime`` relative to the
+   previous record's start, ``completionTime`` relative to this record's
+   start, ``processTime`` relative to the same process's previous I/O
+   start.
+2. **Other fields may be omitted**, signalled by compression flags, and
+   reconstructed from earlier records: process id from the previous record
+   in the trace, file id from the previous record by this process, length
+   and operation id from the previous record of this file, and offset by
+   sequential extension of the previous access to this file.
+
+Records whose offset/length are multiples of 512 are further shrunk with
+the ``*_IN_BLOCKS`` flags.
+
+A line is the decimal fields in struct order, space separated::
+
+    recordType compression [offset] [length] startTime completionTime
+    [operationId] [fileId] [processId] processTime
+
+Comment records are ``255`` followed by the comment text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.trace import flags as F
+from repro.trace.record import AnyRecord, CommentRecord, TraceRecord
+from repro.util.errors import TraceFormatError
+
+
+@dataclass
+class _FileState:
+    """Per-file compression context."""
+
+    next_offset: int  # previous access's offset + length
+    length: int
+    operation_id: int
+
+
+@dataclass
+class EncoderStats:
+    """Counts of how often each compression opportunity fired."""
+
+    records: int = 0
+    comments: int = 0
+    omitted_offset: int = 0
+    omitted_length: int = 0
+    omitted_file_id: int = 0
+    omitted_process_id: int = 0
+    omitted_operation_id: int = 0
+    offset_in_blocks: int = 0
+    length_in_blocks: int = 0
+    bytes_written: int = 0
+
+    def omission_rate(self) -> float:
+        """Mean omitted optional fields per record (0-5)."""
+        if self.records == 0:
+            return 0.0
+        omitted = (
+            self.omitted_offset
+            + self.omitted_length
+            + self.omitted_file_id
+            + self.omitted_process_id
+            + self.omitted_operation_id
+        )
+        return omitted / self.records
+
+
+class TraceEncoder:
+    """Stateful record-to-line encoder.
+
+    Feed records in the order they should appear in the trace (start times
+    must be nondecreasing).  The encoder is streaming: it holds only the
+    per-file/per-process context, never the whole trace.
+
+    ``omit_operation_ids=True`` reproduces the paper's note that for
+    logical-only traces the operation id "is useless and should be
+    disregarded": after a file's first record the id is dropped even when
+    it differs from the previous one.
+    """
+
+    def __init__(self, *, omit_operation_ids: bool = False):
+        self.omit_operation_ids = omit_operation_ids
+        self.stats = EncoderStats()
+        self._prev_start: int | None = None
+        self._prev_process: int | None = None
+        self._file_of_process: dict[int, int] = {}
+        self._files: dict[int, _FileState] = {}
+
+    def encode(self, record: AnyRecord) -> str:
+        """Encode one record to its trace line (no trailing newline)."""
+        if isinstance(record, CommentRecord):
+            if "\n" in record.text:
+                raise TraceFormatError("comment text must not contain newlines")
+            self.stats.comments += 1
+            line = f"{F.TRACE_COMMENT} {record.text}".rstrip()
+            self.stats.bytes_written += len(line) + 1
+            return line
+        return self._encode_io(record)
+
+    def encode_all(self, records: Iterable[AnyRecord]) -> Iterator[str]:
+        for record in records:
+            yield self.encode(record)
+
+    def _encode_io(self, r: TraceRecord) -> str:
+        compression = 0
+        fields: list[int] = []
+
+        fstate = self._files.get(r.file_id)
+
+        # offset
+        if fstate is not None and r.offset == fstate.next_offset:
+            compression |= F.TRACE_NO_BLOCK
+            self.stats.omitted_offset += 1
+        else:
+            value = r.offset
+            if value % F.TRACE_BLOCK_SIZE == 0:
+                compression |= F.TRACE_OFFSET_IN_BLOCKS
+                value //= F.TRACE_BLOCK_SIZE
+                self.stats.offset_in_blocks += 1
+            fields.append(value)
+
+        # length
+        if fstate is not None and r.length == fstate.length:
+            compression |= F.TRACE_NO_LENGTH
+            self.stats.omitted_length += 1
+        else:
+            value = r.length
+            if value % F.TRACE_BLOCK_SIZE == 0:
+                compression |= F.TRACE_LENGTH_IN_BLOCKS
+                value //= F.TRACE_BLOCK_SIZE
+                self.stats.length_in_blocks += 1
+            fields.append(value)
+
+        # times (always present, always deltas)
+        prev_start = self._prev_start if self._prev_start is not None else 0
+        start_delta = r.start_time - prev_start
+        if start_delta < 0:
+            raise TraceFormatError(
+                f"start times must be nondecreasing "
+                f"(got {r.start_time} after {prev_start})"
+            )
+        fields.append(start_delta)
+        fields.append(r.duration)
+
+        # operationId
+        tail: list[int] = []
+        if fstate is not None and (
+            self.omit_operation_ids or r.operation_id == fstate.operation_id
+        ):
+            compression |= F.TRACE_NO_OPERATIONID
+            self.stats.omitted_operation_id += 1
+        else:
+            tail.append(r.operation_id)
+
+        # fileId
+        if self._file_of_process.get(r.process_id) == r.file_id:
+            compression |= F.TRACE_NO_FILEID
+            self.stats.omitted_file_id += 1
+        else:
+            tail.append(r.file_id)
+
+        # processId
+        if self._prev_process == r.process_id:
+            compression |= F.TRACE_NO_PROCESSID
+            self.stats.omitted_process_id += 1
+        else:
+            tail.append(r.process_id)
+
+        tail.append(r.process_time)
+
+        # update state
+        self._prev_start = r.start_time
+        self._prev_process = r.process_id
+        self._file_of_process[r.process_id] = r.file_id
+        self._files[r.file_id] = _FileState(
+            next_offset=r.offset + r.length,
+            length=r.length,
+            operation_id=r.operation_id,
+        )
+
+        self.stats.records += 1
+        parts = [str(r.record_type), str(compression)]
+        parts.extend(str(v) for v in fields)
+        parts.extend(str(v) for v in tail)
+        line = " ".join(parts)
+        self.stats.bytes_written += len(line) + 1
+        return line
+
+
+def encode_records(
+    records: Iterable[AnyRecord], *, omit_operation_ids: bool = False
+) -> list[str]:
+    """One-shot helper: encode all records and return the lines."""
+    encoder = TraceEncoder(omit_operation_ids=omit_operation_ids)
+    return list(encoder.encode_all(records))

@@ -1,0 +1,166 @@
+"""In-memory trace records.
+
+A :class:`TraceRecord` is one I/O event with *absolute* semantics: the
+start time is an absolute wall-clock tick, the completion time is a
+duration, and the process time is the CPU-time delta since the process's
+previous I/O started (exactly the value the trace format stores).  The
+encoder (:mod:`repro.trace.encode`) turns sequences of these into the
+paper's delta-compressed ASCII lines and the decoder reverses it.
+
+Comment records (``recordType == 0xff``) are represented by
+:class:`CommentRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+from repro.trace import flags as F
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One I/O event.
+
+    Attributes mirror ``struct traceRecord`` in the paper's appendix, with
+    times held absolutely where the on-disk format holds deltas:
+
+    * ``start_time`` -- absolute wall-clock time of the I/O start, in
+      10 us ticks.
+    * ``duration`` -- ticks from I/O start until completion was reported
+      to the process (the format's ``completionTime`` delta).
+    * ``process_time`` -- process CPU ticks elapsed since this process's
+      previous I/O started (the format stores this directly).
+    * ``offset``/``length`` -- byte offset into the file and request
+      length for logical records; 512-byte block address and block count
+      times 512 for physical records (the decoder normalizes blocks to
+      bytes).
+    """
+
+    record_type: int
+    offset: int
+    length: int
+    start_time: int
+    duration: int
+    operation_id: int
+    file_id: int
+    process_id: int
+    process_time: int
+
+    def __post_init__(self) -> None:
+        if self.record_type == F.TRACE_COMMENT:
+            raise ValueError("use CommentRecord for comment records")
+        if self.offset < 0:
+            raise ValueError(f"negative offset {self.offset}")
+        if self.length < 0:
+            raise ValueError(f"negative length {self.length}")
+        if self.duration < 0:
+            raise ValueError(f"negative duration {self.duration}")
+        if self.process_time < 0:
+            raise ValueError(f"negative process_time {self.process_time}")
+
+    # -- structured views of record_type ---------------------------------
+    @property
+    def is_write(self) -> bool:
+        return F.is_write(self.record_type)
+
+    @property
+    def is_read(self) -> bool:
+        return not F.is_write(self.record_type)
+
+    @property
+    def is_logical(self) -> bool:
+        return F.is_logical(self.record_type)
+
+    @property
+    def is_async(self) -> bool:
+        return F.is_async(self.record_type)
+
+    @property
+    def data_kind(self) -> F.DataKind:
+        return F.data_kind(self.record_type)
+
+    @property
+    def end_offset(self) -> int:
+        """First byte past this access (``offset + length``)."""
+        return self.offset + self.length
+
+    @property
+    def completion_time(self) -> int:
+        """Absolute wall-clock tick at which completion was reported."""
+        return self.start_time + self.duration
+
+    def replaced(self, **changes) -> "TraceRecord":
+        """A copy with some fields replaced (frozen-dataclass helper)."""
+        return replace(self, **changes)
+
+    @classmethod
+    def make(
+        cls,
+        *,
+        write: bool,
+        offset: int,
+        length: int,
+        start_time: int,
+        duration: int = 0,
+        operation_id: int = 0,
+        file_id: int = 0,
+        process_id: int = 0,
+        process_time: int = 0,
+        logical: bool = True,
+        asynchronous: bool = False,
+        kind: F.DataKind = F.DataKind.FILE_DATA,
+    ) -> "TraceRecord":
+        """Convenience constructor composing ``record_type`` from keywords."""
+        return cls(
+            record_type=F.make_record_type(
+                write=write, logical=logical, asynchronous=asynchronous, kind=kind
+            ),
+            offset=offset,
+            length=length,
+            start_time=start_time,
+            duration=duration,
+            operation_id=operation_id,
+            file_id=file_id,
+            process_id=process_id,
+            process_time=process_time,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CommentRecord:
+    """A human-readable comment embedded in a trace.
+
+    The paper used comment records to record the correspondence between
+    file ids and file names and to identify each trace.  Comments carry no
+    timing information and are ignored by simulations.
+    """
+
+    text: str
+
+    @property
+    def record_type(self) -> int:
+        return F.TRACE_COMMENT
+
+
+AnyRecord = Union[TraceRecord, CommentRecord]
+
+
+def file_name_comment(file_id: int, name: str) -> CommentRecord:
+    """The conventional comment mapping a file id to a path."""
+    return CommentRecord(f"file {file_id} = {name}")
+
+
+def parse_file_name_comment(comment: CommentRecord) -> tuple[int, str] | None:
+    """Parse a ``file <id> = <name>`` comment; None if not of that form."""
+    parts = comment.text.split(" = ", 1)
+    if len(parts) != 2:
+        return None
+    head = parts[0].split()
+    if len(head) != 2 or head[0] != "file":
+        return None
+    try:
+        return int(head[1]), parts[1]
+    except ValueError:
+        return None

@@ -1,0 +1,105 @@
+"""ASCII plotting for rate-over-time figures.
+
+matplotlib is not available in this environment, so the figure benchmarks
+render their curves as terminal plots plus CSV dumps.  The plots are crude
+but make the paper's qualitative claims (bursts, cycles, smoothing)
+directly visible in benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+_SPARK_CHARS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Render a one-line density sparkline of ``values``.
+
+    Values are resampled (by max within each horizontal cell, so bursts
+    survive downsampling) and mapped onto a 10-level character ramp.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return ""
+    if arr.size > width:
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array([arr[a:b].max() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])])
+    peak = arr.max()
+    if peak <= 0:
+        return _SPARK_CHARS[0] * arr.size
+    levels = np.clip((arr / peak * (len(_SPARK_CHARS) - 1)).round().astype(int), 0, len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[i] for i in levels)
+
+
+def ascii_line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render an (x, y) curve as a character grid with axis annotations."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.size == 0 or y.size == 0:
+        return "(empty plot)"
+    if x.size != y.size:
+        raise ValueError("xs and ys must have equal length")
+    y_max = y.max() if y.max() > 0 else 1.0
+    x_min, x_max = float(x.min()), float(x.max())
+    x_span = x_max - x_min if x_max > x_min else 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    # Downsample into columns by max so bursts are preserved.
+    for col in range(width):
+        lo = x_min + x_span * col / width
+        hi = x_min + x_span * (col + 1) / width
+        mask = (x >= lo) & (x < hi) if col < width - 1 else (x >= lo) & (x <= hi)
+        if not mask.any():
+            continue
+        v = y[mask].max()
+        row = int(round((1 - v / y_max) * (height - 1)))
+        row = min(max(row, 0), height - 1)
+        grid[row][col] = "*"
+        for r in range(row + 1, height):
+            if grid[r][col] == " ":
+                grid[r][col] = "|" if v > 0 else " "
+
+    lines = []
+    if title:
+        lines.append(title)
+    label = f"{y_label} " if y_label else ""
+    lines.append(f"{label}peak={y_max:.4g}")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    x_caption = f" {x_min:.4g} .. {x_max:.4g}"
+    if x_label:
+        x_caption += f" ({x_label})"
+    lines.append(x_caption)
+    return "\n".join(lines)
+
+
+def ascii_bar_plot(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render labelled horizontal bars, scaled to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return "(empty plot)"
+    vmax = max(values) if max(values) > 0 else 1.0
+    label_w = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, v in zip(labels, values):
+        bar = "#" * int(round(v / vmax * width))
+        lines.append(f"{label.rjust(label_w)} |{bar} {v:.4g}")
+    return "\n".join(lines)

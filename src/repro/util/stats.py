@@ -1,0 +1,177 @@
+"""Small statistics helpers used by the trace analysis and the simulator."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+class OnlineStats:
+    """Streaming mean/variance/min/max (Welford's algorithm).
+
+    Used for per-file and per-process I/O-size and latency statistics where
+    materializing every sample would be wasteful for multi-million-I/O
+    traces.
+    """
+
+    __slots__ = ("n", "_mean", "_m2", "_min", "_max", "_total")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._total = 0.0
+
+    def add(self, x: float) -> None:
+        """Fold one sample into the running statistics."""
+        self.n += 1
+        self._total += x
+        delta = x - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (x - self._mean)
+        if x < self._min:
+            self._min = x
+        if x > self._max:
+            self._max = x
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    def merge(self, other: "OnlineStats") -> None:
+        """Fold another accumulator into this one (parallel merge)."""
+        if other.n == 0:
+            return
+        if self.n == 0:
+            self.n = other.n
+            self._mean = other._mean
+            self._m2 = other._m2
+            self._min = other._min
+            self._max = other._max
+            self._total = other._total
+            return
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean = (self._mean * self.n + other._mean * other.n) / n
+        self.n = n
+        self._total += other._total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else 0.0
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the samples seen so far."""
+        return self._m2 / self.n if self.n else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def min(self) -> float:
+        return self._min if self.n else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.n else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OnlineStats(n={self.n}, mean={self.mean:.4g}, "
+            f"stdev={self.stdev:.4g}, min={self.min:.4g}, max={self.max:.4g})"
+        )
+
+
+@dataclass
+class Histogram:
+    """Fixed-bin histogram over a half-open range ``[lo, hi)``.
+
+    Out-of-range samples are counted in saturating edge bins so that totals
+    are conserved (important for the access-size histograms, where a single
+    huge compulsory read should not vanish).
+    """
+
+    lo: float
+    hi: float
+    n_bins: int
+    counts: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.hi <= self.lo:
+            raise ValueError("Histogram requires hi > lo")
+        if self.n_bins < 1:
+            raise ValueError("Histogram requires at least one bin")
+        self.counts = np.zeros(self.n_bins, dtype=np.int64)
+
+    def add(self, x: float, weight: int = 1) -> None:
+        idx = int((x - self.lo) / (self.hi - self.lo) * self.n_bins)
+        idx = min(max(idx, 0), self.n_bins - 1)
+        self.counts[idx] += weight
+
+    def extend(self, xs: Iterable[float]) -> None:
+        for x in xs:
+            self.add(x)
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def bin_edges(self) -> np.ndarray:
+        return np.linspace(self.lo, self.hi, self.n_bins + 1)
+
+    def mode_bin(self) -> tuple[float, float]:
+        """Return the ``(lo, hi)`` edges of the most populated bin."""
+        edges = self.bin_edges()
+        i = int(np.argmax(self.counts))
+        return float(edges[i]), float(edges[i + 1])
+
+    def fraction_in(self, lo: float, hi: float) -> float:
+        """Fraction of samples whose *bin centers* fall inside [lo, hi)."""
+        if self.total == 0:
+            return 0.0
+        edges = self.bin_edges()
+        centers = (edges[:-1] + edges[1:]) / 2
+        mask = (centers >= lo) & (centers < hi)
+        return float(self.counts[mask].sum()) / self.total
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean; returns 0 for empty or zero-weight input."""
+    values_arr = np.asarray(values, dtype=float)
+    weights_arr = np.asarray(weights, dtype=float)
+    wsum = weights_arr.sum()
+    if values_arr.size == 0 or wsum == 0:
+        return 0.0
+    return float((values_arr * weights_arr).sum() / wsum)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``; 0 for empty input."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values; 0 for empty input."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

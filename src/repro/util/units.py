@@ -1,0 +1,96 @@
+"""Units used throughout the reproduction.
+
+The paper's trace format expresses all times in 10 microsecond ticks
+(section 4.1: "this value was converted to 10 us units, as we believed this
+was sufficient time resolution for I/O traces").  The Cray Y-MP is a
+word-addressed machine with 8-byte words; memory and SSD sizes in the paper
+are quoted in megawords (MW), e.g. the NASA system's 128 MW of main memory
+and 256 MW SSD.
+"""
+
+from __future__ import annotations
+
+#: Number of trace ticks per second.  One tick is 10 microseconds.
+TICKS_PER_SECOND: int = 100_000
+
+#: Duration of one trace tick in seconds.
+TICK_SECONDS: float = 1.0 / TICKS_PER_SECOND
+
+#: Binary kilobyte.  The paper uses KB = 1024 bytes for access sizes.
+KB: int = 1024
+
+#: Binary megabyte.
+MB: int = 1024 * 1024
+
+#: Binary gigabyte.
+GB: int = 1024 * 1024 * 1024
+
+#: Cray Y-MP word size in bytes ("each word is eight bytes long").
+WORD_BYTES: int = 8
+
+#: One megaword (2**20 words) in bytes.  128 MW = 1 GB of main memory.
+MEGAWORD_BYTES: int = WORD_BYTES * 1024 * 1024
+
+#: Block size the trace format's *_IN_BLOCKS compression flags use.
+TRACE_BLOCK_SIZE: int = 512
+
+
+def seconds_to_ticks(seconds: float) -> int:
+    """Convert seconds to integer trace ticks (rounded to nearest tick)."""
+    return int(round(seconds * TICKS_PER_SECOND))
+
+
+def ticks_to_seconds(ticks: int) -> float:
+    """Convert integer trace ticks to floating-point seconds."""
+    return ticks * TICK_SECONDS
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert a byte count to (binary) megabytes."""
+    return n_bytes / MB
+
+
+def mb_to_bytes(n_mb: float) -> int:
+    """Convert (binary) megabytes to an integer byte count."""
+    return int(round(n_mb * MB))
+
+
+def kb_to_bytes(n_kb: float) -> int:
+    """Convert (binary) kilobytes to an integer byte count."""
+    return int(round(n_kb * KB))
+
+
+def bytes_to_kb(n_bytes: float) -> float:
+    """Convert a byte count to (binary) kilobytes."""
+    return n_bytes / KB
+
+
+def megawords_to_bytes(n_mw: float) -> int:
+    """Convert Cray megawords (1 MW = 8 MB) to bytes."""
+    return int(round(n_mw * MEGAWORD_BYTES))
+
+
+def bytes_to_megawords(n_bytes: float) -> float:
+    """Convert bytes to Cray megawords."""
+    return n_bytes / MEGAWORD_BYTES
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Render a byte count with a human-friendly binary suffix."""
+    value = float(n_bytes)
+    for suffix in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or suffix == "TB":
+            if suffix == "B":
+                return f"{int(value)} {suffix}"
+            return f"{value:.2f} {suffix}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration, switching units below one second."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} us"

@@ -1,0 +1,46 @@
+"""Synthetic models of the seven traced supercomputer applications.
+
+The paper traced real codes on the NASA Ames Cray Y-MP; we cannot.  The
+substitution (DESIGN.md section 2) is a parameterized model per
+application, each programmed against the simulated runtime API and
+calibrated to the reconstructed Tables 1-2 plus the narrative structure
+(cycles, file counts, access sizes, sync/async, SSD vs disk).
+
+Entry points:
+
+>>> from repro.workloads import generate_workload
+>>> w = generate_workload("venus", scale=0.1)
+>>> w.trace.total_bytes  # doctest: +SKIP
+"""
+
+from repro.workloads.base import (
+    ApplicationModel,
+    GeneratedWorkload,
+    available_models,
+    generate_workload,
+    model_for,
+    register_model,
+)
+from repro.workloads.calibrate import CalibrationResult, check, measure
+from repro.workloads.catalog import (
+    APP_NAMES,
+    PAPER_APPS,
+    PaperAppRow,
+    paper_row,
+)
+
+__all__ = [
+    "ApplicationModel",
+    "GeneratedWorkload",
+    "available_models",
+    "generate_workload",
+    "model_for",
+    "register_model",
+    "CalibrationResult",
+    "check",
+    "measure",
+    "APP_NAMES",
+    "PAPER_APPS",
+    "PaperAppRow",
+    "paper_row",
+]

@@ -1,0 +1,23 @@
+"""The seven traced-application models.
+
+Importing this package registers every model with
+:func:`repro.workloads.base.model_for`.
+"""
+
+from repro.workloads.apps.bvi import BviModel
+from repro.workloads.apps.ccm import CcmModel
+from repro.workloads.apps.forma import FormaModel
+from repro.workloads.apps.gcm import GcmModel
+from repro.workloads.apps.les import LesModel
+from repro.workloads.apps.upw import UpwModel
+from repro.workloads.apps.venus import VenusModel
+
+__all__ = [
+    "BviModel",
+    "CcmModel",
+    "FormaModel",
+    "GcmModel",
+    "LesModel",
+    "UpwModel",
+    "VenusModel",
+]

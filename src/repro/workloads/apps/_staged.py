@@ -1,0 +1,206 @@
+"""Shared skeleton for the data-staging iterative applications.
+
+venus, ccm, bvi and forma all follow the same life cycle the paper
+describes for memory-limited codes:
+
+1. **required input** -- read a configuration file and any initial data;
+2. **cycles** -- every iteration sweeps (part of) the on-disk data array:
+   a read pass staging data in, computation, and a write pass staging
+   results out ("the entire data set is usually shuttled in and out of
+   memory at least once, and perhaps more often");
+3. **required output** -- write the final results.
+
+Subclasses configure the knobs (cycle count, chunk sizes, interleaving,
+burst fraction, checkpoints, sparse skipping) from the catalog row.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar
+
+from repro.runtime.api import AppRuntime
+from repro.util.units import MB, seconds_to_ticks
+from repro.workloads.base import ApplicationModel
+from repro.workloads.patterns import (
+    FileCursor,
+    InterleavedSweep,
+    jittered_array,
+    jittered_ticks,
+    split_evenly,
+)
+
+
+class StagedIterativeModel(ApplicationModel):
+    """Read-sweep / compute / write-sweep iterative application."""
+
+    # -- knobs (override per app) -----------------------------------------
+    full_cycles: ClassVar[int]
+    read_chunk: ClassVar[int]
+    write_chunk: ClassVar[int]
+    #: fraction of each cycle's CPU time during which the I/O happens;
+    #: smaller means burstier demand (controls the figures' peak rates).
+    io_phase_fraction: ClassVar[float] = 0.5
+    #: write a checkpoint every N cycles (None disables); its bytes are
+    #: carved out of that cycle's write budget so totals stay calibrated.
+    checkpoint_every: ClassVar[int | None] = None
+    checkpoint_mb: ClassVar[float] = 0.0
+    #: fraction of read steps that are skipped-over empty blocks
+    #: (forma's sparse-matrix optimization); skipped blocks cost a seek
+    #: but no I/O, so the model inflates its sweep length to compensate.
+    sparse_skip_fraction: ClassVar[float] = 0.0
+    #: bytes of configuration read before the first cycle.
+    config_bytes: ClassVar[int] = 128 * 1024
+    #: bytes of final results written after the last cycle.
+    final_output_bytes: ClassVar[int] = 2 * MB
+
+    def run(self, rt: AppRuntime) -> None:
+        paper = self.paper
+        rng = self.rng("compute")
+        cycles = self.scaled_cycles(self.full_cycles)
+        cycle_cpu = seconds_to_ticks(paper.running_seconds / self.full_cycles)
+
+        # Per-cycle byte budgets from the Table 2 rates.
+        read_bytes_cycle = int(
+            paper.read_mb_per_sec * MB * paper.running_seconds / self.full_cycles
+        )
+        write_bytes_cycle = int(
+            paper.write_mb_per_sec * MB * paper.running_seconds / self.full_cycles
+        )
+
+        # --- required input -------------------------------------------------
+        data_fds = self._create_files(rt)
+        rt.fs.create(f"{self.name}.config", size=self.config_bytes)
+        config_fd = rt.open(f"{self.name}.config")
+        rt.read(config_fd, self.config_bytes)
+        rt.close(config_fd)
+
+        read_sweep = InterleavedSweep(
+            [FileCursor(rt, fd, self.read_chunk) for fd in data_fds]
+        )
+        write_sweep = InterleavedSweep(
+            [FileCursor(rt, fd, self.write_chunk) for fd in data_fds]
+        )
+        checkpoint_fd: int | None = None
+        ckpt_every: int | None = None
+        if self.checkpoint_every:
+            checkpoint_fd = rt.open(f"{self.name}.checkpoint", create=True)
+            # Scale the interval with the run so scaled-down replays
+            # still checkpoint at the same per-run frequency.
+            ckpt_every = max(2, round(self.checkpoint_every * self.scale))
+
+        # --- cycles ---------------------------------------------------------
+        for cycle in range(cycles):
+            checkpoint_bytes = 0
+            if (
+                checkpoint_fd is not None
+                and ckpt_every is not None
+                and (cycle + 1) % ckpt_every == 0
+            ):
+                checkpoint_bytes = min(
+                    int(self.checkpoint_mb * MB), write_bytes_cycle
+                )
+            self._run_cycle(
+                rt,
+                rng,
+                read_sweep,
+                write_sweep,
+                cycle_cpu=cycle_cpu,
+                read_bytes=read_bytes_cycle,
+                write_bytes=write_bytes_cycle - checkpoint_bytes,
+            )
+            if checkpoint_bytes and checkpoint_fd is not None:
+                rt.seek(checkpoint_fd, 0)
+                for piece in split_evenly(
+                    checkpoint_bytes, max(1, checkpoint_bytes // self.write_chunk)
+                ):
+                    if piece > 0:
+                        rt.write(checkpoint_fd, piece)
+
+        # --- required output --------------------------------------------------
+        out_fd = rt.open(f"{self.name}.results", create=True)
+        for piece in split_evenly(
+            self.final_output_bytes,
+            max(1, self.final_output_bytes // self.write_chunk),
+        ):
+            if piece > 0:
+                rt.write(out_fd, piece)
+        rt.close(out_fd)
+        if checkpoint_fd is not None:
+            rt.close(checkpoint_fd)
+
+    # -- pieces subclasses may refine ---------------------------------------
+    def _create_files(self, rt: AppRuntime) -> list[int]:
+        """Create the pre-existing data files; returns open descriptors."""
+        n = self.paper.n_data_files
+        total = self.paper.data_size_bytes
+        # Leave room for config/results/checkpoint in the Table 1 data size.
+        extras = (
+            self.config_bytes
+            + self.final_output_bytes
+            + (int(self.checkpoint_mb * MB) if self.checkpoint_every else 0)
+        )
+        per_file = max(self.read_chunk, (total - extras) // n)
+        fds = []
+        for i in range(n):
+            name = f"{self.name}.data{i}"
+            rt.fs.create(name, size=per_file)
+            fds.append(rt.open(name))
+        return fds
+
+    def _run_cycle(
+        self,
+        rt: AppRuntime,
+        rng,
+        read_sweep: InterleavedSweep,
+        write_sweep: InterleavedSweep,
+        *,
+        cycle_cpu: int,
+        read_bytes: int,
+        write_bytes: int,
+    ) -> None:
+        n_reads = max(1, round(read_bytes / self.read_chunk))
+        n_writes = max(1, round(write_bytes / self.write_chunk))
+        phase_cpu = int(self.io_phase_fraction * cycle_cpu)
+        n_ios = n_reads + n_writes
+        read_phase_cpu = phase_cpu * n_reads // n_ios
+        write_phase_cpu = phase_cpu - read_phase_cpu
+
+        self._read_pass(rt, rng, read_sweep, n_reads, read_phase_cpu)
+        self._write_pass(rt, rng, write_sweep, n_writes, write_phase_cpu)
+
+        trailing = max(0, cycle_cpu - phase_cpu)
+        if trailing:
+            rt.compute_ticks(jittered_ticks(trailing, rng))
+
+    def _read_pass(
+        self, rt: AppRuntime, rng, sweep: InterleavedSweep, n_reads: int, cpu: int
+    ) -> None:
+        gap = self.compute_gap_ticks(
+            rt, phase_cpu_ticks=cpu, n_ios=n_reads, io_bytes=self.read_chunk
+        )
+        gaps = jittered_array(gap, n_reads, rng)
+        skip = self.sparse_skip_fraction
+        skips = rng.random(n_reads) < skip if skip else None
+        for i in range(n_reads):
+            if skips is not None and skips[i]:
+                # An empty block: identified from the index and created in
+                # memory instead of being staged in. Costs a seek only --
+                # and we still perform the data read elsewhere in the
+                # sweep, so issue both the skip and a real read to keep
+                # byte totals calibrated.
+                sweep.skip_step()
+            sweep.read_step()
+            if gaps[i]:
+                rt.compute_ticks(int(gaps[i]))
+
+    def _write_pass(
+        self, rt: AppRuntime, rng, sweep: InterleavedSweep, n_writes: int, cpu: int
+    ) -> None:
+        gap = self.compute_gap_ticks(
+            rt, phase_cpu_ticks=cpu, n_ios=n_writes, io_bytes=self.write_chunk
+        )
+        gaps = jittered_array(gap, n_writes, rng)
+        for i in range(n_writes):
+            sweep.write_step()
+            if gaps[i]:
+                rt.compute_ticks(int(gaps[i]))

@@ -1,0 +1,31 @@
+"""bvi -- blade-vortex interaction CFD.
+
+"It was the only one of the programs traced explicitly designed for use
+with the SSD ... Since the SSD has zero seek time and a very high
+transfer rate, the program did not suffer a major performance loss from
+the many small I/Os it made ... the file system overhead may have slowed
+the program down by using more operating system time."
+
+Model facts: ~16 KB average requests (half the next-smallest program's),
+nearly 1.9 million I/Os at ~1100/s, read/write data ratio 2.31,
+synchronous I/O against a non-suspending SSD profile (the transfer time
+is charged as CPU, reproducing the "more operating system time"
+penalty).  Table 2's per-direction rates imply asymmetric sizes: reads of
+~14 KB (12.3 MB/s at 913/s) and writes of ~30 KB (5.34 MB/s at 185/s).
+"""
+
+from __future__ import annotations
+
+from repro.util.units import KB
+from repro.workloads.apps._staged import StagedIterativeModel
+from repro.workloads.base import register_model
+
+
+@register_model
+class BviModel(StagedIterativeModel):
+    name = "bvi"
+
+    full_cycles = 100
+    read_chunk = 14 * KB
+    write_chunk = 30 * KB
+    io_phase_fraction = 0.7

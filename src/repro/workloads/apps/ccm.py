@@ -1,0 +1,30 @@
+"""ccm -- the Community Climate Model.
+
+"Ccm took the intermediate point between the two [gcm and venus],
+requiring fewer megabytes per second of program execution than venus but
+far more than gcm, probably because its in-memory data array was
+intermediate in size."
+
+Model facts: ~32 KB requests, read/write ratio near one (1.07), a small
+on-disk working set (11.6 MB) swept repeatedly, with periodic checkpoints
+(the paper's second I/O class; climate models checkpoint every few
+iterations).
+"""
+
+from __future__ import annotations
+
+from repro.util.units import KB
+from repro.workloads.apps._staged import StagedIterativeModel
+from repro.workloads.base import register_model
+
+
+@register_model
+class CcmModel(StagedIterativeModel):
+    name = "ccm"
+
+    full_cycles = 40
+    read_chunk = 32 * KB
+    write_chunk = 32 * KB
+    io_phase_fraction = 0.5
+    checkpoint_every = 10
+    checkpoint_mb = 2.0

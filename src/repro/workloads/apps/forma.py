@@ -1,0 +1,32 @@
+"""forma -- sparse-matrix structural dynamics.
+
+"This program was originally written for a Cray 1, with its small
+memory, and uses sparse matrices to solve structural dynamics problems
+... By breaking up the data array into blocks, empty blocks can be
+easily identified and created in memory instead of being staged in."
+
+Model facts: the highest data and request rates of any traced program
+(73.6 MB/s, 2310 I/Os/s), heavily read-dominated (ratio 11.0) because the
+factored matrix blocks are re-read every solver pass while only updates
+are written back; a fraction of block slots in each sweep are *empty* and
+get skipped (a seek with no transfer).  Write requests are deliberately
+not 512-byte aligned (19 KB + change), which exercises the trace format's
+non-block-encoded path.
+"""
+
+from __future__ import annotations
+
+from repro.util.units import KB
+from repro.workloads.apps._staged import StagedIterativeModel
+from repro.workloads.base import register_model
+
+
+@register_model
+class FormaModel(StagedIterativeModel):
+    name = "forma"
+
+    full_cycles = 50
+    read_chunk = 32 * KB
+    write_chunk = 19 * KB + 448  # deliberately unaligned block tails
+    io_phase_fraction = 0.8
+    sparse_skip_fraction = 0.25

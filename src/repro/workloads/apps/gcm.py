@@ -1,0 +1,66 @@
+"""gcm -- the Global Climate Model.
+
+"Gcm was primarily an in-memory simulation -- the only data that went
+through the operating system were final results.  The data fit into a
+main memory array, obviating the need to stage data from disk.  As a
+result, the program did few I/Os."
+
+Model facts: compulsory I/O only.  A modest initialization read at
+startup (~20 MB in 32 KB requests), then a long computation that emits
+result history steadily (3.85 writes/s of ~32 KB -- buffered history
+records), dominated by writes (read/write ratio 0.089).  Table 1's
+229 MB data size is the initialization file plus the accumulated result
+history.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.api import AppRuntime
+from repro.util.units import KB, MB, seconds_to_ticks
+from repro.workloads.base import ApplicationModel, register_model
+from repro.workloads.patterns import jittered_ticks
+
+
+@register_model
+class GcmModel(ApplicationModel):
+    name = "gcm"
+
+    #: simulation steps; each computes then appends history records.
+    full_iterations = 474
+    io_chunk = 32 * KB
+
+    def run(self, rt: AppRuntime) -> None:
+        paper = self.paper
+        rng = self.rng("compute")
+        iterations = self.scaled_cycles(self.full_iterations)
+        iter_cpu = seconds_to_ticks(
+            paper.running_seconds / self.full_iterations
+        )
+
+        total_read = int(paper.read_mb_per_sec * MB * paper.running_seconds)
+        total_writes = round(
+            paper.write_ios_per_sec * paper.running_seconds
+        )
+        writes_per_iter = max(1, round(total_writes / self.full_iterations))
+
+        # --- compulsory input: the initial state -------------------------
+        # Scaled with the run so the read/write balance holds at any scale.
+        n_init_reads = max(
+            1, int(total_read * iterations / self.full_iterations) // self.io_chunk
+        )
+        rt.fs.create("gcm.init", size=n_init_reads * self.io_chunk)
+        fd = rt.open("gcm.init")
+        for _ in range(n_init_reads):
+            rt.read(fd, self.io_chunk)
+            rt.compute_ticks(jittered_ticks(20, rng))
+        rt.close(fd)
+
+        # --- iterate in memory; emit history records ----------------------
+        hist_fd = rt.open("gcm.history", create=True)
+        io_cpu = writes_per_iter * self.per_io_overhead_ticks(rt, self.io_chunk)
+        compute_block = max(0, iter_cpu - io_cpu)
+        for _ in range(iterations):
+            rt.compute_ticks(jittered_ticks(compute_block, rng))
+            for _ in range(writes_per_iter):
+                rt.write(hist_fd, self.io_chunk)
+        rt.close(hist_fd)

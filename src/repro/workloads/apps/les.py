@@ -1,0 +1,76 @@
+"""les -- large eddy simulation (Navier-Stokes with turbulence).
+
+"The program that came closest to fully utilizing a CPU while doing
+large amounts of I/O was les, since it was the only program that used
+asynchronous reads and writes explicitly.  Clearly, its designer spent
+much time optimizing it for the Cray Y-MP system."
+
+Model facts: ~325 KB requests, read/write nearly balanced (0.95), a
+224 MB data set, explicit ``reada``/``writea`` with a bounded queue of
+outstanding requests so computation overlaps the transfers; an I/O
+request is "not only sequential with the previous I/O, but also the same
+size" -- the property the read-ahead policy exploits.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.api import AppRuntime, AsyncRequest
+from repro.util.units import KB
+from repro.workloads.apps._staged import StagedIterativeModel
+from repro.workloads.base import register_model
+from repro.workloads.patterns import InterleavedSweep, jittered_array
+
+
+@register_model
+class LesModel(StagedIterativeModel):
+    name = "les"
+
+    full_cycles = 18
+    read_chunk = 328 * KB
+    write_chunk = 318 * KB
+    io_phase_fraction = 0.6
+    checkpoint_every = 6
+    checkpoint_mb = 8.0
+
+    #: outstanding asynchronous requests kept in flight.
+    queue_depth = 4
+
+    def _drain(self, rt: AppRuntime, queue: list[AsyncRequest], down_to: int) -> None:
+        while len(queue) > down_to:
+            rt.wait(queue.pop(0))
+
+    def _async_pass(
+        self,
+        rt: AppRuntime,
+        rng,
+        sweep: InterleavedSweep,
+        n_ios: int,
+        cpu: int,
+        *,
+        write: bool,
+        chunk: int,
+    ) -> None:
+        gap = self.compute_gap_ticks(
+            rt, phase_cpu_ticks=cpu, n_ios=n_ios, io_bytes=chunk
+        )
+        gaps = jittered_array(gap, n_ios, rng)
+        queue: list[AsyncRequest] = []
+        for i in range(n_ios):
+            self._drain(rt, queue, self.queue_depth - 1)
+            if write:
+                queue.append(sweep.write_step_async())
+            else:
+                queue.append(sweep.read_step_async())
+            if gaps[i]:
+                rt.compute_ticks(int(gaps[i]))
+        self._drain(rt, queue, 0)
+
+    def _read_pass(self, rt, rng, sweep, n_reads, cpu):
+        self._async_pass(
+            rt, rng, sweep, n_reads, cpu, write=False, chunk=self.read_chunk
+        )
+
+    def _write_pass(self, rt, rng, sweep, n_writes, cpu):
+        self._async_pass(
+            rt, rng, sweep, n_writes, cpu, write=True, chunk=self.write_chunk
+        )

@@ -1,0 +1,150 @@
+"""Access-pattern building blocks shared by the application models.
+
+The traced programs were "highly sequential and very regular": each kept a
+typical request size and swept its data files in the same order every
+cycle.  :class:`FileCursor` provides wrap-around sequential chunk access
+over one file; :class:`InterleavedSweep` round-robins cursors across
+several files (venus's six-file interleaving, which is what forced the
+disk seeks its simulation section discusses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.api import AppRuntime, AsyncRequest
+
+
+@dataclass
+class FileCursor:
+    """Wrap-around sequential chunk access over one open file.
+
+    Reads wrap before running past end-of-file, so a sweep can cover the
+    file any non-integral number of times; writes wrap at the file's
+    *initial* size so in-place update passes do not grow the file.
+    """
+
+    rt: AppRuntime
+    fd: int
+    chunk: int
+
+    def __post_init__(self) -> None:
+        if self.chunk <= 0:
+            raise ValueError("chunk must be positive")
+        self._wrap = max(self.rt.file_size(self.fd), self.chunk)
+
+    def _position_for(self, nbytes: int) -> None:
+        pos = self.rt.tell(self.fd)
+        if pos + nbytes > self._wrap:
+            self.rt.seek(self.fd, 0)
+
+    def read(self, nbytes: int | None = None) -> None:
+        n = self.chunk if nbytes is None else nbytes
+        self._position_for(n)
+        self.rt.read(self.fd, n)
+
+    def write(self, nbytes: int | None = None) -> None:
+        n = self.chunk if nbytes is None else nbytes
+        self._position_for(n)
+        self.rt.write(self.fd, n)
+
+    def read_async(self, nbytes: int | None = None) -> AsyncRequest:
+        n = self.chunk if nbytes is None else nbytes
+        self._position_for(n)
+        return self.rt.reada(self.fd, n)
+
+    def write_async(self, nbytes: int | None = None) -> AsyncRequest:
+        n = self.chunk if nbytes is None else nbytes
+        self._position_for(n)
+        return self.rt.writea(self.fd, n)
+
+    def skip(self, nbytes: int | None = None) -> None:
+        """Advance past a chunk without touching it (forma's empty blocks)."""
+        n = self.chunk if nbytes is None else nbytes
+        self._position_for(n)
+        self.rt.seek(self.fd, self.rt.tell(self.fd) + n)
+
+
+class InterleavedSweep:
+    """Round-robin chunk I/O across several file cursors.
+
+    One *step* issues one chunk on the next cursor in rotation.  A full
+    rotation touches every file once -- the access pattern that interleaved
+    venus's six data files.
+    """
+
+    def __init__(self, cursors: list[FileCursor]):
+        if not cursors:
+            raise ValueError("need at least one cursor")
+        self.cursors = cursors
+        self._next = 0
+
+    def _advance(self) -> FileCursor:
+        cursor = self.cursors[self._next]
+        self._next = (self._next + 1) % len(self.cursors)
+        return cursor
+
+    def read_step(self) -> None:
+        self._advance().read()
+
+    def write_step(self) -> None:
+        self._advance().write()
+
+    def read_step_async(self) -> AsyncRequest:
+        return self._advance().read_async()
+
+    def write_step_async(self) -> AsyncRequest:
+        return self._advance().write_async()
+
+    def skip_step(self) -> None:
+        self._advance().skip()
+
+
+def jittered_ticks(
+    base_ticks: int, rng: np.random.Generator, relative_sigma: float = 0.08
+) -> int:
+    """A compute-slice duration with mild lognormal-ish jitter.
+
+    Real inter-I/O compute times are regular but not identical; the jitter
+    keeps generated traces from being artificially metronomic while
+    preserving the mean (the multiplicative noise is mean-compensated).
+    """
+    if base_ticks <= 0:
+        return 0
+    if relative_sigma <= 0:
+        return base_ticks
+    factor = rng.normal(1.0, relative_sigma)
+    factor = max(0.5, min(1.5, factor))
+    return max(0, int(round(base_ticks * factor)))
+
+
+def jittered_array(
+    base_ticks: int,
+    n: int,
+    rng: np.random.Generator,
+    relative_sigma: float = 0.08,
+) -> np.ndarray:
+    """``n`` jittered compute slices at once (vectorized hot path).
+
+    Same distribution as :func:`jittered_ticks`; drawing per-I/O from the
+    generator dominates trace-generation time for the million-I/O models,
+    so the staged models pre-draw a whole pass's slices.
+    """
+    if n <= 0:
+        return np.zeros(0, dtype=np.int64)
+    if base_ticks <= 0:
+        return np.zeros(n, dtype=np.int64)
+    if relative_sigma <= 0:
+        return np.full(n, base_ticks, dtype=np.int64)
+    factors = np.clip(rng.normal(1.0, relative_sigma, size=n), 0.5, 1.5)
+    return np.maximum(0, np.rint(base_ticks * factors)).astype(np.int64)
+
+
+def split_evenly(total: int, parts: int) -> list[int]:
+    """Split an integer into ``parts`` near-equal nonnegative pieces."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, extra = divmod(total, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]

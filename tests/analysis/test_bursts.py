@@ -1,0 +1,92 @@
+"""Burst segmentation and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bursts import analyze_bursts, detect_bursts
+from repro.analysis.rates import data_rate_series
+from repro.util.timeseries import RateSeries
+from repro.workloads import generate_workload
+
+
+def series(values, bin_width=1.0):
+    arr = np.asarray(values, dtype=float)
+    return RateSeries(np.arange(arr.size) * bin_width, arr, bin_width)
+
+
+class TestDetection:
+    def test_single_burst(self):
+        s = series([0, 0, 10, 12, 8, 0, 0])
+        bursts = detect_bursts(s)
+        assert len(bursts) == 1
+        b = bursts[0]
+        assert b.start_s == 2.0
+        assert b.end_s == 5.0
+        assert b.duration_s == 3.0
+        assert b.peak == 12.0
+        assert b.total == pytest.approx(30.0)
+
+    def test_multiple_bursts_and_spacing(self):
+        s = series([10, 0, 0, 10, 0, 0, 10, 0, 0])
+        report = analyze_bursts(s)
+        assert report.n_bursts == 3
+        assert report.mean_spacing_s == pytest.approx(3.0)
+        assert report.spacing_cv == pytest.approx(0.0)
+        assert report.evenly_spaced
+
+    def test_burst_at_end_closed(self):
+        s = series([0, 0, 10])
+        bursts = detect_bursts(s)
+        assert len(bursts) == 1
+        assert bursts[0].end_s == 3.0
+
+    def test_threshold_fraction(self):
+        s = series([1, 1, 10, 1, 1])
+        assert len(detect_bursts(s, threshold_fraction=0.5)) == 1
+        # at a 5% threshold, everything is one long burst
+        assert len(detect_bursts(s, threshold_fraction=0.05)) == 1
+        assert detect_bursts(s, threshold_fraction=0.05)[0].duration_s == 5.0
+
+    def test_empty_and_flat(self):
+        assert detect_bursts(series([])) == []
+        assert detect_bursts(series([0, 0, 0])) == []
+        report = analyze_bursts(series([0, 0]))
+        assert report.n_bursts == 0
+        assert not report.evenly_spaced
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            detect_bursts(series([1.0]), threshold_fraction=0.0)
+        with pytest.raises(ValueError):
+            detect_bursts(series([1.0]), threshold_fraction=1.0)
+
+
+class TestReportMetrics:
+    def test_duty_and_weight_fractions(self):
+        s = series([0, 20, 0, 0])  # one 1-s burst in 4 s
+        report = analyze_bursts(s)
+        assert report.duty_fraction == pytest.approx(0.25)
+        assert report.burst_weight_fraction == pytest.approx(1.0)
+        assert report.mean_burst_rate == pytest.approx(20.0)
+
+    def test_uneven_spacing_detected(self):
+        s = series([10, 0, 10, 0, 0, 0, 0, 0, 10, 0])
+        report = analyze_bursts(s)
+        assert report.n_bursts == 3
+        assert report.spacing_cv > 0.4
+        assert not report.evenly_spaced
+
+
+class TestOnVenus:
+    def test_venus_bursts_match_cycles(self):
+        venus = generate_workload("venus", scale=0.2)
+        rate = data_rate_series(venus.trace, clock="cpu")
+        report = analyze_bursts(rate)
+        # one burst per cycle (8 cycles at scale 0.2)
+        assert report.n_bursts == pytest.approx(8, abs=1)
+        assert report.evenly_spaced
+        assert report.mean_spacing_s == pytest.approx(9.5, abs=1.0)
+        # almost all bytes move inside the bursts, which cover under
+        # ~60% of the time
+        assert report.burst_weight_fraction > 0.95
+        assert report.duty_fraction < 0.6

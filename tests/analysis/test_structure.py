@@ -1,0 +1,205 @@
+"""Sequentiality, per-file stats, classification, cycles, Amdahl."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.amdahl import (
+    amdahl_balance,
+    amdahl_io_mb_per_sec,
+    paper_swap_example,
+)
+from repro.analysis.classify import (
+    PAPER_CHECKPOINT_EXAMPLE_MB_PER_SEC,
+    PAPER_REQUIRED_EXAMPLE_MB_PER_SEC,
+    PAPER_SWAP_EXAMPLE_MB_PER_SEC,
+    IOClass,
+    classify_file,
+    classify_trace,
+)
+from repro.analysis.cycles import (
+    analyze_cycles,
+    cycle_similarity,
+    detect_period_bins,
+    peak_spacing_regularity,
+)
+from repro.analysis.perfile import (
+    large_file_io_fraction,
+    per_file_stats,
+    split_large_small,
+    unique_sizes_per_file,
+)
+from repro.analysis.rates import data_rate_series
+from repro.analysis.sequentiality import (
+    analyze_file_concentration,
+    analyze_sequentiality,
+)
+from repro.trace.array import TraceArray
+from repro.util.timeseries import RateSeries
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def venus():
+    return generate_workload("venus", scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def gcm():
+    return generate_workload("gcm", scale=0.2)
+
+
+class TestSequentiality:
+    def test_venus_highly_sequential(self, venus):
+        report = analyze_sequentiality(venus.trace)
+        assert report.sequential_fraction > 0.9
+        assert report.same_size_fraction > 0.95
+        assert report.dominant_size == 456 * 1024
+
+    def test_empty_trace(self):
+        report = analyze_sequentiality(TraceArray.empty())
+        assert report.n_ios == 0
+        assert report.sequential_fraction == 0.0
+
+    def test_random_access_not_sequential(self):
+        rng = np.random.default_rng(0)
+        offs = rng.integers(0, 10**6, size=200) * 1024
+        trace = TraceArray.from_columns(
+            offset=offs,
+            length=np.full(200, 1024),
+            start_time=np.arange(200) * 10,
+            file_id=np.ones(200),
+            process_clock=np.arange(200),
+            process_id=np.ones(200),
+        )
+        report = analyze_sequentiality(trace)
+        assert report.sequential_fraction < 0.05
+        assert report.same_size_fraction > 0.9  # sizes still regular
+
+    def test_concentration(self, venus):
+        report = analyze_file_concentration(venus.trace)
+        # accesses go overwhelmingly to the six data files
+        assert report.files_for_90_percent <= 6
+
+
+class TestPerFile:
+    def test_stats_conserve_totals(self, venus):
+        stats = per_file_stats(venus.trace)
+        assert sum(s.total_bytes for s in stats.values()) == venus.trace.total_bytes
+        assert sum(s.n_ios for s in stats.values()) == len(venus.trace)
+
+    def test_large_small_split(self, venus):
+        stats = per_file_stats(venus.trace)
+        large, small = split_large_small(stats)
+        # the six data files (and possibly the 2 MB results file)
+        assert 6 <= len(large) <= 7
+        assert small  # the config file is small
+
+    def test_large_files_dominate_bytes(self, venus):
+        assert large_file_io_fraction(venus.trace) > 0.99
+
+    def test_unique_sizes_regular(self, venus):
+        sizes = unique_sizes_per_file(venus.trace)
+        stats = per_file_stats(venus.trace)
+        large, _ = split_large_small(stats)
+        for s in large:
+            assert sizes[s.file_id] == 1  # one constant request size
+
+
+class TestClassification:
+    def test_classify_file_rules(self):
+        reads_only = classify_file(
+            np.array([0, 100, 200]), np.array([False, False, False])
+        )
+        assert reads_only == IOClass.REQUIRED
+        append_only = classify_file(
+            np.array([0, 100, 200]), np.array([True, True, True])
+        )
+        assert append_only == IOClass.REQUIRED
+        rewound = classify_file(
+            np.array([0, 100, 0, 100]), np.array([True, True, True, True])
+        )
+        assert rewound == IOClass.CHECKPOINT
+        mixed = classify_file(np.array([0, 0]), np.array([True, False]))
+        assert mixed == IOClass.SWAP
+
+    def test_venus_swap_dominated(self, venus):
+        report = classify_trace(venus.trace, venus.cpu_seconds)
+        assert report.dominant_class == IOClass.SWAP
+        assert report.fraction_of_bytes(IOClass.SWAP) > 0.99
+
+    def test_gcm_required_only(self, gcm):
+        report = classify_trace(gcm.trace, gcm.cpu_seconds)
+        assert report.dominant_class == IOClass.REQUIRED
+        assert report.breakdown[IOClass.SWAP].n_ios == 0
+
+    def test_ccm_has_checkpoints(self):
+        ccm = generate_workload("ccm", scale=0.5)
+        report = classify_trace(ccm.trace, ccm.cpu_seconds)
+        assert report.breakdown[IOClass.CHECKPOINT].n_files == 1
+
+    def test_paper_class_rate_ordering(self, venus, gcm):
+        # The paper's ordering: swap >> checkpoint > required rates.
+        assert (
+            PAPER_SWAP_EXAMPLE_MB_PER_SEC
+            > PAPER_CHECKPOINT_EXAMPLE_MB_PER_SEC
+            > PAPER_REQUIRED_EXAMPLE_MB_PER_SEC
+        )
+        swap_rate = classify_trace(
+            venus.trace, venus.cpu_seconds
+        ).breakdown[IOClass.SWAP].mb_per_sec
+        req_rate = classify_trace(gcm.trace, gcm.cpu_seconds).breakdown[
+            IOClass.REQUIRED
+        ].mb_per_sec
+        assert swap_rate > 10 * req_rate
+
+
+class TestCycles:
+    def test_venus_period_detected(self, venus):
+        rs = data_rate_series(venus.trace, clock="cpu")
+        report = analyze_cycles(rs)
+        assert report.is_cyclic
+        assert report.period_seconds == pytest.approx(9.5, abs=1.5)
+        assert report.cycle_similarity > 0.7
+
+    def test_peak_spacing_even(self, venus):
+        rs = data_rate_series(venus.trace, clock="cpu")
+        assert peak_spacing_regularity(rs) < 0.5
+
+    def test_flat_series_no_cycle(self):
+        rs = RateSeries(np.arange(50.0), np.ones(50), 1.0)
+        assert not analyze_cycles(rs).is_cyclic
+
+    def test_short_series_no_cycle(self):
+        rs = RateSeries(np.arange(4.0), np.array([1.0, 2, 1, 2]), 1.0)
+        assert not analyze_cycles(rs).is_cyclic
+
+    def test_detect_period_bins_synthetic(self):
+        t = np.arange(200)
+        rates = np.where(t % 8 < 2, 10.0, 0.0)
+        rs = RateSeries(t.astype(float), rates, 1.0)
+        ac = rs.autocorrelation(max_lag=100)
+        assert detect_period_bins(ac) == 8
+
+    def test_cycle_similarity_identical_windows(self):
+        values = np.tile(np.array([0.0, 5.0, 1.0, 0.0]), 6)
+        assert cycle_similarity(values, 4) == pytest.approx(1.0)
+        assert cycle_similarity(values[:4], 4) == 0.0
+
+
+class TestAmdahl:
+    def test_prescribed_rate(self):
+        # 200 MIPS -> 200 Mbit/s = 25 MB/s (decimal) ~ 23.8 binary MB/s
+        assert amdahl_io_mb_per_sec(200) == pytest.approx(23.84, abs=0.1)
+
+    def test_balance(self):
+        assert amdahl_balance(23.84, 200) == pytest.approx(1.0, abs=0.01)
+        assert amdahl_balance(0.0, 200) == 0.0
+
+    def test_paper_example(self):
+        est = paper_swap_example()
+        assert est.mb_per_sec == pytest.approx(24.0)
+        assert est.amdahl_mb_per_sec == pytest.approx(25.0)
+        # "quite close to Amdahl's metric"
+        assert est.mb_per_sec / est.amdahl_mb_per_sec == pytest.approx(
+            0.96, abs=0.01
+        )

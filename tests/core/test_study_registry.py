@@ -1,0 +1,77 @@
+"""The Study facade and experiment registry."""
+
+import pytest
+
+from repro.core import EXPERIMENTS, Study, experiment_ids, run_experiment
+
+
+@pytest.fixture(scope="module")
+def study():
+    return Study(scale=0.1)
+
+
+class TestStudy:
+    def test_workloads_cached(self, study):
+        a = study.workload("venus")
+        b = study.workload("venus")
+        assert a is b
+
+    def test_tables_render(self, study):
+        t1 = study.table1()
+        t2 = study.table2()
+        for name in ("bvi", "venus", "upw"):
+            assert name in t1 and name in t2
+        assert "paper" in t1
+
+    def test_figures_3_4(self, study):
+        fig3 = study.figure3()
+        fig4 = study.figure4()
+        assert fig3.peak > 60  # venus bursts
+        assert fig4.peak > 60  # les bursts
+        assert study.cycles("venus").is_cyclic
+
+    def test_default_scales_used(self):
+        s = Study()
+        assert s.app_scale("bvi") < s.app_scale("venus")
+
+    def test_seed_controls_generation(self):
+        a = Study(scale=0.1, seed=1).workload("ccm")
+        b = Study(scale=0.1, seed=2).workload("ccm")
+        assert (a.trace.start_time != b.trace.start_time).any()
+
+
+class TestRegistry:
+    def test_all_experiments_present(self):
+        expected = {
+            "table1",
+            "table2",
+            "fig3",
+            "fig4",
+            "fig6",
+            "fig7",
+            "fig8",
+            "ssd-utilization",
+            "write-behind",
+            "n-plus-one",
+            "batch-tradeoff",
+            "mss-staging",
+        }
+        assert set(experiment_ids()) == expected
+        for exp in EXPERIMENTS.values():
+            assert exp.title
+            assert exp.paper_section
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_table_experiments(self, study):
+        out = run_experiment("table1", study)
+        assert "Table 1" in out
+        out = run_experiment("table2", study)
+        assert "Table 2" in out
+
+    def test_run_figure_experiment(self, study):
+        out = run_experiment("fig3", study)
+        assert "venus" in out
+        assert "peak" in out

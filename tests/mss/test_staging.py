@@ -1,0 +1,46 @@
+"""Workload staging helper."""
+
+import pytest
+
+from repro.mss.hierarchy import Level, MSSConfig
+from repro.mss.staging import data_file_sizes, stage_workload
+from repro.util.units import MB
+from repro.workloads import generate_workload
+
+
+@pytest.fixture(scope="module")
+def ccm():
+    return generate_workload("ccm", scale=0.1)
+
+
+def test_data_file_sizes_cover_accesses(ccm):
+    sizes = data_file_sizes(ccm)
+    trace = ccm.trace
+    assert set(sizes) == set(int(f) for f in trace.file_ids())
+    ends = trace.offset + trace.length
+    for fid, size in sizes.items():
+        assert size == int(ends[trace.file_id == fid].max())
+
+
+def test_stage_workload_latency_scales_with_bandwidth(ccm):
+    slow = stage_workload(
+        ccm, config=MSSConfig(n_drives=8, tape_bandwidth_bytes_per_s=1 * MB)
+    )
+    fast = stage_workload(
+        ccm, config=MSSConfig(n_drives=8, tape_bandwidth_bytes_per_s=10 * MB)
+    )
+    assert slow.ready_at_s > fast.ready_at_s
+    assert slow.total_bytes == fast.total_bytes
+
+
+def test_offline_slower_than_nearline(ccm):
+    near = stage_workload(ccm, n_drives=8)
+    off = stage_workload(ccm, n_drives=8, level=Level.OFFLINE)
+    assert off.ready_at_s >= near.ready_at_s + 300.0 - 1e-6
+
+
+def test_drive_work_conserved(ccm):
+    one = stage_workload(ccm, n_drives=1)
+    many = stage_workload(ccm, n_drives=8)
+    assert one.drive_busy_s == pytest.approx(many.drive_busy_s)
+    assert many.ready_at_s <= one.ready_at_s

@@ -1,0 +1,88 @@
+"""Process clocks and the simulated file namespace."""
+
+import pytest
+
+from repro.runtime.clock import ProcessClock
+from repro.runtime.files import FileSystem, SimulatedFile
+from repro.util.errors import RuntimeAPIError
+
+
+class TestProcessClock:
+    def test_compute_advances_both(self):
+        c = ProcessClock()
+        c.compute(100)
+        assert c.wall == 100 and c.cpu == 100
+
+    def test_stall_advances_wall_only(self):
+        c = ProcessClock()
+        c.compute(50)
+        c.stall(25)
+        assert c.wall == 75 and c.cpu == 50
+
+    def test_seconds_views(self):
+        c = ProcessClock()
+        c.compute_seconds(1.0)
+        assert c.cpu == 100_000
+        assert c.cpu_seconds == pytest.approx(1.0)
+        assert c.wall_seconds == pytest.approx(1.0)
+
+    def test_start_wall_offset(self):
+        c = ProcessClock(start_wall=500)
+        assert c.wall == 500 and c.cpu == 0
+
+    def test_rejects_negative(self):
+        c = ProcessClock()
+        with pytest.raises(ValueError):
+            c.compute(-1)
+        with pytest.raises(ValueError):
+            c.stall(-1)
+        with pytest.raises(ValueError):
+            ProcessClock(start_wall=-1)
+
+
+class TestFileSystem:
+    def test_create_and_lookup(self):
+        fs = FileSystem()
+        f = fs.create("data", size=1000)
+        assert fs.lookup("data") is f
+        assert fs.exists("data")
+        assert len(fs) == 1
+
+    def test_create_duplicate_rejected(self):
+        fs = FileSystem()
+        fs.create("x")
+        with pytest.raises(RuntimeAPIError):
+            fs.create("x")
+
+    def test_lookup_missing(self):
+        with pytest.raises(RuntimeAPIError):
+            FileSystem().lookup("nope")
+
+    def test_open_or_create(self):
+        fs = FileSystem()
+        a = fs.open_or_create("x")
+        b = fs.open_or_create("x")
+        assert a is b
+
+    def test_unlink(self):
+        fs = FileSystem()
+        fs.create("x")
+        fs.unlink("x")
+        assert not fs.exists("x")
+        with pytest.raises(RuntimeAPIError):
+            fs.unlink("x")
+
+    def test_total_bytes(self):
+        fs = FileSystem()
+        fs.create("a", size=100)
+        fs.create("b", size=200)
+        assert fs.total_bytes == 300
+
+    def test_file_extend(self):
+        f = SimulatedFile("x", 100)
+        f.extend_to(50)
+        assert f.size == 100
+        f.extend_to(150)
+        assert f.size == 150
+        with pytest.raises(ValueError):
+            SimulatedFile("bad", -1)

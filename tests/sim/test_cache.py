@@ -1,0 +1,232 @@
+"""Buffer cache unit tests: hits, misses, read-ahead, write-behind, frames."""
+
+import pytest
+
+from repro.sim.cache import BlockState, BufferCache
+from repro.sim.config import CacheConfig, DiskConfig, ssd_cache
+from repro.sim.devices import DiskModel
+from repro.sim.events import Engine
+from repro.sim.metrics import Metrics
+from repro.util.units import KB, MB
+
+
+class Harness:
+    """A cache wired to an engine and a rotation-free disk."""
+
+    def __init__(self, **cache_kw):
+        file_sizes = cache_kw.pop("file_sizes", {1: 64 * MB, 2: 64 * MB})
+        self.engine = Engine()
+        self.metrics = Metrics()
+        self.disk = DiskModel(DiskConfig(rotation_period_s=0.0), seed=0)
+        if cache_kw.pop("ssd", False):
+            config = ssd_cache(cache_kw.pop("size_bytes", 1 * MB), **cache_kw)
+        else:
+            cache_kw.setdefault("size_bytes", 1 * MB)
+            cache_kw.setdefault("block_bytes", 4 * KB)
+            config = CacheConfig(**cache_kw)
+        self.cache = BufferCache(
+            config, self.engine, self.disk, self.metrics, file_sizes=file_sizes
+        )
+        self.completions: list[float] = []
+
+    def read(self, offset, length, fid=1, owner=1):
+        self.cache.read(fid, offset, length, owner, self._done)
+
+    def write(self, offset, length, fid=1, owner=1):
+        self.cache.write(fid, offset, length, owner, self._done)
+
+    def _done(self, penalty=0.0):
+        self.completions.append(self.engine.now + penalty)
+
+    def run(self):
+        self.engine.run(max_events=100_000)
+
+
+class TestReadPath:
+    def test_cold_miss_then_hit(self):
+        h = Harness(read_ahead=False)
+        h.read(0, 16 * KB)
+        h.run()
+        assert len(h.completions) == 1
+        assert h.completions[0] > 0  # waited for the disk
+        assert h.metrics.cache.block_misses == 4
+        h.read(0, 16 * KB)  # now resident
+        assert len(h.completions) == 2  # completed inline
+        assert h.metrics.cache.block_hits == 4
+
+    def test_partial_hit_issues_only_missing_run(self):
+        h = Harness(read_ahead=False)
+        h.read(0, 8 * KB)
+        h.run()
+        before = h.disk.requests
+        h.read(0, 16 * KB)  # blocks 0-1 resident, 2-3 missing
+        h.run()
+        assert h.disk.requests == before + 1
+        assert h.metrics.cache.block_misses == 2 + 2
+
+    def test_inflight_coalescing(self):
+        # Two concurrent reads of the same blocks: one disk request.
+        h = Harness(read_ahead=False)
+        h.read(0, 16 * KB)
+        h.read(0, 16 * KB)
+        h.run()
+        assert h.disk.requests == 1
+        assert len(h.completions) == 2
+        assert h.metrics.cache.block_inflight_hits == 4
+
+    def test_rejects_nonpositive(self):
+        h = Harness()
+        with pytest.raises(Exception):
+            h.read(0, 0)
+
+
+class TestWritePath:
+    def test_write_behind_completes_inline(self):
+        h = Harness(write_behind=True)
+        h.write(0, 64 * KB)
+        # absorbed before any event ran
+        assert len(h.completions) == 1
+        assert h.metrics.cache.writes_absorbed == 1
+        assert h.cache.outstanding_flushes == 1
+        h.run()
+        assert h.cache.outstanding_flushes == 0
+
+    def test_write_through_waits_for_disk(self):
+        h = Harness(write_behind=False)
+        h.write(0, 64 * KB)
+        assert len(h.completions) == 0
+        h.run()
+        assert len(h.completions) == 1
+        assert h.completions[0] > 0
+
+    def test_written_blocks_readable_after_flush(self):
+        h = Harness(write_behind=True, read_ahead=False)
+        h.write(0, 16 * KB)
+        h.run()
+        misses_before = h.metrics.cache.block_misses
+        h.read(0, 16 * KB)
+        assert h.metrics.cache.block_misses == misses_before
+        assert len(h.completions) == 2
+
+
+class TestReadAhead:
+    def test_sequential_pattern_triggers_prefetch(self):
+        h = Harness(read_ahead=True, size_bytes=8 * MB)
+        h.read(0, 64 * KB)
+        h.run()
+        assert h.metrics.cache.prefetch_issued == 0  # first read: no pattern
+        h.read(64 * KB, 64 * KB)  # sequential: prefetcher wakes
+        h.run()
+        assert h.metrics.cache.prefetch_issued > 0
+        # The next sequential read is already resident.
+        before = h.metrics.cache.readahead_hits
+        h.read(128 * KB, 64 * KB)
+        assert h.metrics.cache.readahead_hits > before
+
+    def test_random_pattern_no_prefetch(self):
+        h = Harness(read_ahead=True)
+        h.read(0, 16 * KB)
+        h.run()
+        h.read(10 * MB, 16 * KB)
+        h.run()
+        h.read(3 * MB, 16 * KB)
+        h.run()
+        assert h.metrics.cache.prefetch_issued == 0
+
+    def test_prefetch_stops_at_eof(self):
+        h = Harness(read_ahead=True, file_sizes={1: 128 * KB})
+        h.read(0, 64 * KB)
+        h.run()
+        h.read(64 * KB, 64 * KB)  # sequential, but file ends here
+        h.run()
+        assert h.metrics.cache.prefetch_issued == 0
+
+    def test_disabled(self):
+        h = Harness(read_ahead=False)
+        h.read(0, 64 * KB)
+        h.run()
+        h.read(64 * KB, 64 * KB)
+        h.run()
+        assert h.metrics.cache.prefetch_issued == 0
+
+    def test_auto_depth_grows_with_cache(self):
+        small = CacheConfig(size_bytes=1 * MB)
+        large = CacheConfig(size_bytes=64 * MB)
+        assert small.auto_depth(456 * KB) == 1
+        assert large.auto_depth(456 * KB) > small.auto_depth(456 * KB)
+        fixed = CacheConfig(read_ahead_depth=3)
+        assert fixed.auto_depth(456 * KB) == 3
+
+
+class TestFrames:
+    def test_lru_eviction(self):
+        # Cache of 16 blocks (64 KB): read 32 KB, then another 48 KB; the
+        # oldest blocks must be evicted.
+        h = Harness(size_bytes=64 * KB, read_ahead=False)
+        h.read(0, 32 * KB)
+        h.run()
+        h.read(32 * KB, 48 * KB)
+        h.run()
+        assert h.cache.resident_blocks <= 16
+        # Re-reading block 0 misses again (evicted).
+        misses = h.metrics.cache.block_misses
+        h.read(0, 4 * KB)
+        h.run()
+        assert h.metrics.cache.block_misses == misses + 1
+
+    def test_frame_stall_when_all_dirty(self):
+        # Tiny cache, write-behind: a burst of writes can exceed the
+        # frames; later writes park until flushes land.
+        h = Harness(size_bytes=32 * KB, write_behind=True, read_ahead=False)
+        for i in range(4):
+            h.write(i * 32 * KB, 32 * KB)
+        assert h.metrics.cache.frame_stalls > 0
+        h.run()
+        assert len(h.completions) == 4  # everyone completed eventually
+
+    def test_ownership_cap(self):
+        h = Harness(
+            size_bytes=1 * MB, read_ahead=False, max_blocks_per_process=8
+        )
+        h.read(0, 32 * KB, owner=1)  # 8 blocks: at cap
+        h.run()
+        h.read(64 * KB, 32 * KB, owner=1)  # must recycle its own
+        h.run()
+        assert h.cache.owner_blocks(1) <= 8
+        # another process is unaffected
+        h.read(0, 32 * KB, fid=2, owner=2)
+        h.run()
+        assert h.cache.owner_blocks(2) == 8
+
+    def test_hit_and_miss_counts_balance(self):
+        h = Harness(read_ahead=False)
+        h.read(0, 40 * KB)
+        h.run()
+        h.read(20 * KB, 40 * KB)
+        h.run()
+        stats = h.metrics.cache
+        # 40 KB spans 10 blocks; the second read overlaps 5 of them.
+        assert stats.block_requests == 20
+        assert stats.block_hits == 5
+        assert stats.block_misses == 15
+        assert stats.block_hits + stats.block_misses + stats.block_inflight_hits == (
+            stats.block_requests
+        )
+
+
+class TestSSDPenalties:
+    def test_hit_penalty_returned(self):
+        h = Harness(ssd=True, size_bytes=4 * MB)
+        h.read(0, 64 * KB)
+        h.run()
+        h.completions.clear()
+        h.read(0, 64 * KB)  # resident: inline, with penalty
+        assert len(h.completions) == 1
+        penalty = h.completions[0] - h.engine.now
+        assert penalty == pytest.approx(50e-6 + 64 * 1e-6)
+
+    def test_mem_cache_penalty_zero(self):
+        config = CacheConfig()
+        assert config.hit_penalty_s(456 * KB) == 0.0
+        ssd = ssd_cache(256 * MB)
+        assert ssd.hit_penalty_s(456 * KB) == pytest.approx(50e-6 + 456e-6)

@@ -1,0 +1,162 @@
+"""Multi-CPU scheduling and Sprite-style delayed writes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import BufferCache
+from repro.sim.config import CacheConfig, DiskConfig, SimConfig
+from repro.sim.devices import DiskModel
+from repro.sim.events import Engine
+from repro.sim.experiments import n_plus_one_rule
+from repro.sim.metrics import Metrics
+from repro.sim.procmodel import relabel_copies
+from repro.sim.scheduler import RoundRobinScheduler
+from repro.sim.system import simulate
+from repro.trace import flags as F
+from repro.trace.array import TraceArray
+from repro.util.errors import SimulationError
+from repro.util.units import KB, MB, seconds_to_ticks
+
+
+def make_trace(n_ios=10, *, compute_ticks=1000, length=32 * KB, pid=1, fid=1,
+               write=False):
+    rt = F.make_record_type(write=write, logical=True)
+    clock = np.cumsum(np.full(n_ios, compute_ticks))
+    return TraceArray.from_columns(
+        record_type=np.full(n_ios, rt),
+        file_id=np.full(n_ios, fid),
+        process_id=np.full(n_ios, pid),
+        operation_id=np.arange(n_ios),
+        offset=np.arange(n_ios) * length,
+        length=np.full(n_ios, length),
+        start_time=clock,
+        duration=np.zeros(n_ios),
+        process_clock=clock,
+    )
+
+
+class TestMultiCPU:
+    def test_two_cpus_halve_compute_time(self):
+        # Two pure-compute processes (write-behind absorbs all I/O).
+        t1 = make_trace(4, pid=1, fid=1, write=True,
+                        compute_ticks=seconds_to_ticks(1.0))
+        t2 = make_trace(4, pid=2, fid=2, write=True,
+                        compute_ticks=seconds_to_ticks(1.0))
+        one = simulate([t1, t2], SimConfig().with_scheduler(n_cpus=1))
+        two = simulate([t1, t2], SimConfig().with_scheduler(n_cpus=2))
+        assert two.completion_seconds == pytest.approx(
+            one.completion_seconds / 2, rel=0.05
+        )
+        assert two.utilization > 0.99
+
+    def test_idle_counts_all_cpus(self):
+        # One compute-bound job on two CPUs: one CPU is always idle.
+        t1 = make_trace(4, pid=1, fid=1, write=True,
+                        compute_ticks=seconds_to_ticks(1.0))
+        r = simulate([t1], SimConfig().with_scheduler(n_cpus=2))
+        assert r.utilization == pytest.approx(0.5, abs=0.02)
+        assert r.idle_seconds == pytest.approx(r.completion_seconds, rel=0.05)
+
+    def test_more_cpus_than_jobs_is_fine(self):
+        t1 = make_trace(3, pid=1, fid=1)
+        r = simulate([t1], SimConfig().with_scheduler(n_cpus=8))
+        assert r.processes[1].finished
+
+    def test_rejects_zero_cpus(self):
+        with pytest.raises(SimulationError):
+            RoundRobinScheduler(
+                Engine(), SimConfig().scheduler, Metrics(), n_cpus=0
+            )
+
+    def test_n_plus_one_rule_io_bound_saturates_low(self):
+        points = n_plus_one_rule(
+            app="venus", n_cpus=2, max_extra_jobs=1, cache_mb=48, scale=0.1
+        )
+        # I/O-intensive jobs: n+1 jobs nowhere near keep n CPUs busy.
+        assert points[-1].n_jobs == 3
+        assert points[-1].utilization < 0.8
+
+    def test_n_plus_one_rule_compute_bound_saturates_high(self):
+        points = n_plus_one_rule(
+            app="upw", n_cpus=2, max_extra_jobs=1, cache_mb=48, scale=0.25
+        )
+        assert points[0].utilization > 0.95  # even n jobs suffice
+
+
+class DelayedHarness:
+    def __init__(self, delay=1.0, size_mb=4):
+        self.engine = Engine()
+        self.metrics = Metrics()
+        self.disk = DiskModel(DiskConfig(rotation_period_s=0.0), seed=0)
+        self.cache = BufferCache(
+            CacheConfig(
+                size_bytes=size_mb * MB,
+                flush_delay_s=delay,
+                write_behind=True,
+            ),
+            self.engine,
+            self.disk,
+            self.metrics,
+        )
+
+    def write(self, fid, offset, length):
+        self.cache.write(fid, offset, length, 1, lambda p=0.0: None)
+
+
+class TestDelayedWrites:
+    def test_flush_happens_after_delay(self):
+        h = DelayedHarness(delay=2.0)
+        h.write(1, 0, 64 * KB)
+        assert h.disk.requests == 0  # nothing flushed yet
+        h.engine.run()
+        assert h.disk.requests == 1
+        assert h.engine.now >= 2.0
+
+    def test_deleted_file_never_reaches_disk(self):
+        # The Sprite result: a temporary deleted before the delay expires
+        # is never written to disk.
+        h = DelayedHarness(delay=30.0)
+        h.write(1, 0, 64 * KB)
+        cancelled = h.cache.discard_file(1)
+        assert cancelled == 1
+        h.engine.run()
+        assert h.disk.requests == 0
+        assert h.metrics.cache.writes_cancelled == 1
+
+    def test_survivor_files_still_flush(self):
+        h = DelayedHarness(delay=1.0)
+        h.write(1, 0, 64 * KB)   # temp, deleted
+        h.write(2, 0, 64 * KB)   # permanent
+        h.cache.discard_file(1)
+        h.engine.run()
+        assert h.disk.requests == 1
+        assert h.metrics.cache.writes_cancelled == 1
+
+    def test_discard_frees_frames(self):
+        h = DelayedHarness(delay=30.0, size_mb=1)
+        h.write(1, 0, 512 * KB)
+        before = h.cache.resident_blocks
+        h.cache.discard_file(1)
+        assert h.cache.resident_blocks < before
+
+    def test_zero_delay_is_immediate_writebehind(self):
+        h = DelayedHarness(delay=0.0)
+        h.write(1, 0, 64 * KB)
+        assert h.disk.requests == 1  # flush issued immediately
+
+    def test_delay_does_not_help_supercomputer_workload(self):
+        # Section 2.1's argument: staging files all survive, so delaying
+        # buys nothing -- same disk traffic, same-or-worse idle.
+        from repro.workloads import generate_workload
+
+        venus = generate_workload("venus", scale=0.1)
+        traces = relabel_copies(venus.trace, 2)
+        base = SimConfig(cache=CacheConfig(size_bytes=128 * MB))
+        delayed = base.with_cache(size_bytes=128 * MB, flush_delay_s=5.0)
+        r0 = simulate(traces, base)
+        r1 = simulate(traces, delayed)
+        assert r1.disk_write_rate.total == pytest.approx(
+            r0.disk_write_rate.total, rel=0.01
+        )
+        assert r1.idle_seconds >= r0.idle_seconds - 0.5
+        assert r1.cache.writes_cancelled == 0

@@ -1,0 +1,163 @@
+"""Round-robin scheduler and trace-replay processes."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import CacheConfig, SimConfig
+from repro.sim.procmodel import relabel_copies, split_trace_by_process
+from repro.sim.system import SimulatedSystem, simulate
+from repro.trace import flags as F
+from repro.trace.array import TraceArray
+from repro.util.errors import SimulationError
+from repro.util.units import KB, MB, seconds_to_ticks
+
+
+def make_trace(
+    n_ios=10,
+    *,
+    compute_ticks=1000,
+    length=32 * KB,
+    write=False,
+    pid=1,
+    asynchronous=False,
+    fid=1,
+):
+    """A simple sequential single-process trace."""
+    rt = F.make_record_type(write=write, logical=True, asynchronous=asynchronous)
+    clock = np.cumsum(np.full(n_ios, compute_ticks))
+    return TraceArray.from_columns(
+        record_type=np.full(n_ios, rt),
+        file_id=np.full(n_ios, fid),
+        process_id=np.full(n_ios, pid),
+        operation_id=np.arange(n_ios),
+        offset=np.arange(n_ios) * length,
+        length=np.full(n_ios, length),
+        start_time=clock,  # wall ~ cpu for generation purposes
+        duration=np.zeros(n_ios),
+        process_clock=clock,
+    )
+
+
+class TestSingleProcess:
+    def test_cpu_time_conserved(self):
+        trace = make_trace(20, compute_ticks=5000)
+        result = simulate([trace])
+        p = result.processes[1]
+        # 20 x 5000 ticks = 1.0 s of compute
+        assert p.cpu_seconds == pytest.approx(1.0, abs=1e-6)
+        assert p.n_ios == 20
+        assert p.finished
+
+    def test_sync_reads_block(self):
+        trace = make_trace(5, write=False)
+        result = simulate(
+            [trace], SimConfig().with_cache(read_ahead=False, size_bytes=1 * MB)
+        )
+        p = result.processes[1]
+        assert p.blocked_seconds > 0
+        assert result.wall_seconds > p.cpu_seconds
+
+    def test_write_behind_absorbs_writes(self):
+        trace = make_trace(5, write=True)
+        result = simulate([trace], SimConfig().with_cache(write_behind=True))
+        p = result.processes[1]
+        assert p.blocked_seconds == 0.0
+        assert result.utilization > 0.99
+
+    def test_write_through_blocks(self):
+        trace = make_trace(5, write=True)
+        result = simulate([trace], SimConfig().with_cache(write_behind=False))
+        assert result.processes[1].blocked_seconds > 0
+
+    def test_async_never_blocks(self):
+        trace = make_trace(5, write=False, asynchronous=True)
+        result = simulate(
+            [trace], SimConfig().with_cache(read_ahead=False)
+        )
+        assert result.processes[1].blocked_seconds == 0.0
+
+    def test_wall_covers_flush_drain(self):
+        trace = make_trace(3, write=True)
+        result = simulate([trace], SimConfig().with_cache(write_behind=True))
+        # the flush tail extends past process completion
+        assert result.wall_seconds >= result.completion_seconds
+        assert result.disk_write_rate.total == pytest.approx(
+            3 * 32 * KB / MB, rel=1e-6
+        )
+
+    def test_empty_trace_rejected_gracefully(self):
+        with pytest.raises(SimulationError):
+            simulate([])
+
+
+class TestMultiProcess:
+    def test_two_processes_share_cpu(self):
+        t1 = make_trace(10, pid=1, fid=1)
+        t2 = make_trace(10, pid=2, fid=2)
+        result = simulate([t1, t2], SimConfig().with_cache(read_ahead=False))
+        assert result.processes[1].finished
+        assert result.processes[2].finished
+        total_cpu = sum(p.cpu_seconds for p in result.processes.values())
+        assert result.busy_seconds == pytest.approx(total_cpu, abs=1e-9)
+
+    def test_overlap_reduces_idle(self):
+        # One I/O-bound process leaves idle gaps a second can fill.
+        t1 = make_trace(20, pid=1, fid=1, compute_ticks=100)
+        solo = simulate([t1], SimConfig().with_cache(read_ahead=False))
+        t2 = make_trace(20, pid=2, fid=2, compute_ticks=100)
+        both = simulate(
+            [make_trace(20, pid=1, fid=1, compute_ticks=100), t2],
+            SimConfig().with_cache(read_ahead=False),
+        )
+        assert both.utilization > solo.utilization
+
+    def test_duplicate_pids_rejected(self):
+        t1 = make_trace(3, pid=1)
+        t2 = make_trace(3, pid=1)
+        with pytest.raises(SimulationError):
+            SimulatedSystem([t1, t2])
+
+    def test_quantum_preemption(self):
+        # A single long compute block against a tiny quantum: many
+        # preemptions, same total CPU.
+        trace = make_trace(2, compute_ticks=seconds_to_ticks(1.0))
+        config = SimConfig().with_scheduler(quantum_s=0.01)
+        system = SimulatedSystem([trace], config)
+        result = system.run()
+        assert system.scheduler.preemptions >= 90
+        assert result.processes[1].cpu_seconds == pytest.approx(2.0, abs=1e-6)
+
+    def test_switch_overhead_accounted(self):
+        t1 = make_trace(10, pid=1, fid=1)
+        t2 = make_trace(10, pid=2, fid=2)
+        config = SimConfig().with_scheduler(switch_overhead_s=1e-3)
+        result = simulate([t1, t2], config)
+        assert result.switch_seconds > 0
+        assert result.accounted_busy_seconds > result.busy_seconds
+
+
+class TestHelpers:
+    def test_relabel_copies(self):
+        trace = make_trace(5, pid=7)
+        copies = relabel_copies(trace, 3)
+        assert [int(c.process_id[0]) for c in copies] == [1, 2, 3]
+        fids = {int(c.file_id[0]) for c in copies}
+        assert len(fids) == 3  # disjoint file spaces
+
+    def test_relabel_rejects_multiprocess(self):
+        t = TraceArray.concatenate([make_trace(2, pid=1), make_trace(2, pid=2)])
+        with pytest.raises(SimulationError):
+            relabel_copies(t, 2)
+
+    def test_split_trace_by_process(self):
+        t = TraceArray.concatenate(
+            [make_trace(2, pid=1), make_trace(3, pid=2)]
+        ).sorted_by_start()
+        parts = split_trace_by_process(t)
+        assert len(parts[1]) == 2
+        assert len(parts[2]) == 3
+
+    def test_trace_process_rejects_multiprocess(self):
+        t = TraceArray.concatenate([make_trace(2, pid=1), make_trace(2, pid=2)])
+        with pytest.raises(SimulationError):
+            simulate([t])

@@ -1,0 +1,64 @@
+"""Robustness fuzzing: the decoder must never fail with anything but
+TraceFormatError, no matter what bytes arrive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.decode import TraceDecoder
+from repro.trace.record import CommentRecord, TraceRecord
+from repro.util.errors import TraceFormatError
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.text(alphabet=st.characters(codec="ascii"), max_size=200))
+def test_decoder_total_on_arbitrary_text(line):
+    decoder = TraceDecoder()
+    try:
+        out = decoder.decode(line.replace("\n", " "))
+    except TraceFormatError:
+        return
+    assert out is None or isinstance(out, (TraceRecord, CommentRecord))
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.lists(st.integers(-(2**40), 2**40), min_size=1, max_size=12))
+def test_decoder_total_on_arbitrary_numbers(values):
+    line = " ".join(str(v) for v in values)
+    decoder = TraceDecoder()
+    try:
+        out = decoder.decode(line)
+    except TraceFormatError:
+        return
+    assert out is None or isinstance(out, (TraceRecord, CommentRecord))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 255), min_size=2, max_size=10), min_size=1, max_size=20
+    )
+)
+def test_decoder_state_machine_never_crashes_across_lines(lines):
+    # Sequences of small-field lines: some decode, some raise; the
+    # decoder object must stay usable either way.
+    decoder = TraceDecoder()
+    decoded = 0
+    for fields in lines:
+        line = " ".join(str(v) for v in fields)
+        try:
+            if decoder.decode(line) is not None:
+                decoded += 1
+        except TraceFormatError:
+            continue
+    assert decoded >= 0
+
+
+def test_decoder_rejects_float_fields():
+    with pytest.raises(TraceFormatError):
+        TraceDecoder().decode("128 0 0.5 1024 0 0 1 1 1 0")
+
+
+def test_decoder_rejects_hex_looking_fields():
+    with pytest.raises(TraceFormatError):
+        TraceDecoder().decode("0x80 0 0 1024 0 0 1 1 1 0")

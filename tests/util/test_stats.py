@@ -1,0 +1,150 @@
+"""OnlineStats, Histogram and scalar helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    Histogram,
+    OnlineStats,
+    geometric_mean,
+    percentile,
+    weighted_mean,
+)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        s = OnlineStats()
+        assert s.n == 0
+        assert s.mean == 0.0
+        assert s.stdev == 0.0
+        assert s.min == 0.0 and s.max == 0.0
+
+    def test_single_sample(self):
+        s = OnlineStats()
+        s.add(42.0)
+        assert s.n == 1
+        assert s.mean == 42.0
+        assert s.variance == 0.0
+        assert s.min == 42.0 and s.max == 42.0
+        assert s.total == 42.0
+
+    def test_matches_numpy(self):
+        data = [3.0, 1.5, -2.0, 8.25, 0.0, 4.0]
+        s = OnlineStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(np.mean(data))
+        assert s.variance == pytest.approx(np.var(data))
+        assert s.min == min(data)
+        assert s.max == max(data)
+        assert s.total == pytest.approx(sum(data))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_welford_agrees_with_numpy(self, data):
+        s = OnlineStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(np.mean(data), abs=1e-6, rel=1e-6)
+        assert s.variance == pytest.approx(np.var(data), abs=1e-4, rel=1e-4)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=0, max_size=50),
+    )
+    def test_merge_equals_sequential(self, a, b):
+        s1 = OnlineStats()
+        s1.extend(a)
+        s2 = OnlineStats()
+        s2.extend(b)
+        s1.merge(s2)
+        ref = OnlineStats()
+        ref.extend(a + b)
+        assert s1.n == ref.n
+        assert s1.mean == pytest.approx(ref.mean, abs=1e-6)
+        assert s1.variance == pytest.approx(ref.variance, abs=1e-3, rel=1e-3)
+        assert s1.total == pytest.approx(ref.total, abs=1e-6)
+
+    def test_merge_into_empty(self):
+        s1 = OnlineStats()
+        s2 = OnlineStats()
+        s2.extend([1.0, 2.0])
+        s1.merge(s2)
+        assert s1.n == 2
+        assert s1.mean == pytest.approx(1.5)
+
+
+class TestHistogram:
+    def test_basic_binning(self):
+        h = Histogram(0.0, 10.0, 10)
+        h.add(0.5)
+        h.add(9.5)
+        h.add(5.0)
+        assert h.total == 3
+        assert h.counts[0] == 1
+        assert h.counts[9] == 1
+        assert h.counts[5] == 1
+
+    def test_out_of_range_saturates(self):
+        h = Histogram(0.0, 10.0, 10)
+        h.add(-5.0)
+        h.add(100.0)
+        assert h.counts[0] == 1
+        assert h.counts[-1] == 1
+        assert h.total == 2
+
+    def test_weighted(self):
+        h = Histogram(0.0, 1.0, 2)
+        h.add(0.1, weight=5)
+        assert h.total == 5
+
+    def test_mode_bin(self):
+        h = Histogram(0.0, 10.0, 10)
+        for _ in range(3):
+            h.add(7.5)
+        h.add(1.0)
+        lo, hi = h.mode_bin()
+        assert lo == pytest.approx(7.0)
+        assert hi == pytest.approx(8.0)
+
+    def test_fraction_in(self):
+        h = Histogram(0.0, 10.0, 10)
+        for v in [1.5, 2.5, 8.5]:
+            h.add(v)
+        assert h.fraction_in(0.0, 5.0) == pytest.approx(2 / 3)
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            Histogram(5.0, 5.0, 10)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+
+    @given(st.lists(st.floats(-100, 100), max_size=100))
+    def test_total_conserved(self, data):
+        h = Histogram(-10.0, 10.0, 7)
+        h.extend(data)
+        assert h.total == len(data)
+
+
+def test_weighted_mean():
+    assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+    assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+    assert weighted_mean([], []) == 0.0
+    assert weighted_mean([1.0], [0.0]) == 0.0
+
+
+def test_percentile():
+    assert percentile([1, 2, 3, 4, 5], 50) == pytest.approx(3.0)
+    assert percentile([], 50) == 0.0
+    assert percentile([7.0], 99) == pytest.approx(7.0)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    with pytest.raises(ValueError):
+        geometric_mean([1.0, -1.0])
+    assert geometric_mean([10.0] * 5) == pytest.approx(10.0)
+    assert not math.isnan(geometric_mean([1e-6, 1e6]))

@@ -1,0 +1,51 @@
+"""Unit conversions: the 10 us tick base and Cray word units."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_tick_base_is_10_microseconds():
+    assert units.TICKS_PER_SECOND == 100_000
+    assert units.TICK_SECONDS == pytest.approx(1e-5)
+
+
+def test_seconds_ticks_round_trip():
+    assert units.seconds_to_ticks(1.0) == 100_000
+    assert units.ticks_to_seconds(100_000) == pytest.approx(1.0)
+    assert units.seconds_to_ticks(units.ticks_to_seconds(12345)) == 12345
+
+
+def test_seconds_to_ticks_rounds_to_nearest():
+    # 1.5 ticks of seconds rounds to 2 ticks
+    assert units.seconds_to_ticks(1.5e-5) == 2
+    assert units.seconds_to_ticks(1.4e-5) == 1
+
+
+def test_megawords():
+    # 128 MW is the Y-MP's 1 GB main memory
+    assert units.megawords_to_bytes(128) == 1024 * units.MB
+    assert units.bytes_to_megawords(units.megawords_to_bytes(256)) == pytest.approx(256)
+
+
+def test_mb_and_kb_conversions():
+    assert units.mb_to_bytes(1) == units.MB
+    assert units.bytes_to_mb(units.MB) == pytest.approx(1.0)
+    assert units.kb_to_bytes(32) == 32 * 1024
+    assert units.bytes_to_kb(units.MB) == pytest.approx(1024.0)
+
+
+def test_format_bytes():
+    assert units.format_bytes(512) == "512 B"
+    assert units.format_bytes(1536) == "1.50 KB"
+    assert units.format_bytes(9.6e6) == "9.16 MB"
+
+
+def test_format_seconds():
+    assert units.format_seconds(2.5) == "2.50 s"
+    assert units.format_seconds(0.015) == "15.00 ms"
+    assert units.format_seconds(2e-5) == "20.0 us"
+
+
+def test_trace_block_size_matches_header():
+    assert units.TRACE_BLOCK_SIZE == 512

@@ -1,0 +1,57 @@
+"""Cross-seed / cross-scale properties of the workload generators.
+
+The calibration contract: rates, access sizes, read/write balance and
+structural validity hold for *any* seed and any reasonable scale, not
+just the defaults the benchmarks use.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.validate import validate_array
+from repro.workloads import check, generate_workload, measure
+
+# bvi and forma are too slow to fuzz; the cheap five cover every model
+# family (staged sync, staged async, compulsory).
+FUZZABLE = ("ccm", "gcm", "les", "venus", "upw")
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(FUZZABLE),
+    seed=st.integers(0, 2**31),
+    scale=st.sampled_from([0.08, 0.15, 0.3]),
+)
+def test_calibration_holds_for_any_seed(name, seed, scale):
+    workload = generate_workload(name, scale=scale, seed=seed)
+    check(workload, tolerance=0.3)  # raises on miscalibration
+    assert validate_array(workload.trace).ok
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_structure_is_seed_invariant(seed):
+    # Jitter moves timing; the I/O plan (offsets, sizes, order of files)
+    # is the algorithm and must not depend on the seed.
+    a = generate_workload("venus", scale=0.1, seed=seed)
+    b = generate_workload("venus", scale=0.1, seed=seed + 1)
+    np.testing.assert_array_equal(a.trace.offset, b.trace.offset)
+    np.testing.assert_array_equal(a.trace.length, b.trace.length)
+    np.testing.assert_array_equal(a.trace.file_id, b.trace.file_id)
+    assert len(a.trace) == len(b.trace)
+
+
+@pytest.mark.parametrize("scale", [0.06, 0.12, 0.24])
+def test_rate_scale_invariance_all_cheap_apps(scale):
+    for name in FUZZABLE:
+        r = measure(generate_workload(name, scale=scale))
+        paper = r.target_mb_per_sec
+        assert r.mb_per_sec == pytest.approx(paper, rel=0.3), (name, scale)
+
+
+def test_cpu_seconds_track_scale():
+    small = generate_workload("ccm", scale=0.1)
+    large = generate_workload("ccm", scale=0.3)
+    assert large.cpu_seconds == pytest.approx(3 * small.cpu_seconds, rel=0.15)
