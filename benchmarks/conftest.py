@@ -4,10 +4,21 @@ Workload generation is the expensive part and is identical across
 benches, so the seven traces are generated once per session.  Scales are
 chosen so every application runs at least four cycles (rates, access
 sizes and cyclic structure are scale-invariant; totals get extrapolated).
+
+The sweep-shaped benches run through one shared :class:`SweepRunner`:
+
+* ``REPRO_JOBS=8`` fans their points over a process pool (the numbers
+  are identical at any worker count, so assertions never change);
+* ``REPRO_RESULT_CACHE=/some/dir`` memoizes results on disk so a rerun
+  of the benchmark suite skips every already-simulated point.
 """
+
+import os
 
 import pytest
 
+from repro.exec.cache import ResultCache
+from repro.exec.runner import SweepRunner
 from repro.sim.procmodel import relabel_copies
 from repro.workloads import APP_NAMES, generate_workload
 
@@ -40,6 +51,20 @@ def venus(workloads):
 def two_venus_traces(venus):
     """Two non-sharing venus instances (the section 6 workhorse)."""
     return relabel_copies(venus.trace, 2)
+
+
+@pytest.fixture(scope="session")
+def sweep_runner():
+    """One SweepRunner shared by every sweep-shaped bench.
+
+    Serial by default so timings stay meaningful; ``REPRO_JOBS`` opts
+    into a pool and ``REPRO_RESULT_CACHE`` memoizes results on disk.
+    """
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    jobs = int(env) if env else 1
+    cache_dir = os.environ.get("REPRO_RESULT_CACHE", "").strip()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    return SweepRunner(jobs=jobs, cache=cache)
 
 
 def once(benchmark, fn):

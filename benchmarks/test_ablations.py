@@ -5,25 +5,38 @@
   and actually worsened CPU utilization in several cases");
 * block size 4 KB vs 8 KB (Figure 8's two curves);
 * scheduler quantum sensitivity (the simulator parameter 6.1 exposes).
+
+The parameter grids run through the shared session SweepRunner, so
+``REPRO_JOBS`` parallelizes them and ``REPRO_RESULT_CACHE`` lets a rerun
+skip every already-simulated point.
 """
 
 from conftest import BENCH_SCALES, once
 
-from repro.sim import (
-    SimConfig,
-    buffer_cap_ablation,
-    readahead_ablation,
-    simulate,
-)
+from repro.exec.runner import AppWorkloadSpec, SweepPointSpec
+from repro.sim import SimConfig, buffer_cap_ablation, readahead_ablation
 from repro.sim.config import CacheConfig
 from repro.util.units import KB, MB
 
 SCALE = BENCH_SCALES["venus"]
 
+TWO_VENUS = AppWorkloadSpec(app="venus", scale=SCALE, n_copies=2)
 
-def test_ablation_readahead(benchmark):
+
+def _grid(runner, configs):
+    """Run one SimConfig per key and return {key: SimulationResult}."""
+    points = [
+        SweepPointSpec(workload=TWO_VENUS, config=config, label=str(key))
+        for key, config in configs.items()
+    ]
+    results = runner.run(points)
+    return {key: r.result for key, r in zip(configs, results)}
+
+
+def test_ablation_readahead(benchmark, sweep_runner):
     without, with_ra = once(
-        benchmark, lambda: readahead_ablation(cache_mb=32, scale=SCALE)
+        benchmark,
+        lambda: readahead_ablation(cache_mb=32, scale=SCALE, runner=sweep_runner),
     )
     print(
         f"\nread-ahead ablation (32 MB): idle {without.idle_seconds:.1f} s -> "
@@ -35,9 +48,10 @@ def test_ablation_readahead(benchmark):
     assert with_ra.result.cache.readahead_hits > 0
 
 
-def test_ablation_buffer_cap(benchmark):
+def test_ablation_buffer_cap(benchmark, sweep_runner):
     uncapped, capped = once(
-        benchmark, lambda: buffer_cap_ablation(cache_mb=32, scale=SCALE)
+        benchmark,
+        lambda: buffer_cap_ablation(cache_mb=32, scale=SCALE, runner=sweep_runner),
     )
     print(
         f"\nbuffer-cap ablation (32 MB): utilization "
@@ -48,17 +62,12 @@ def test_ablation_buffer_cap(benchmark):
     assert capped.idle_seconds > uncapped.idle_seconds
 
 
-def test_ablation_block_size(benchmark, two_venus_traces):
-    def run():
-        out = {}
-        for kb in (4, 8, 64):
-            config = SimConfig(
-                cache=CacheConfig(size_bytes=32 * MB, block_bytes=kb * KB)
-            )
-            out[kb] = simulate(two_venus_traces, config)
-        return out
-
-    results = once(benchmark, run)
+def test_ablation_block_size(benchmark, sweep_runner):
+    configs = {
+        kb: SimConfig(cache=CacheConfig(size_bytes=32 * MB, block_bytes=kb * KB))
+        for kb in (4, 8, 64)
+    }
+    results = once(benchmark, lambda: _grid(sweep_runner, configs))
     print()
     for kb, r in results.items():
         print(
@@ -73,21 +82,18 @@ def test_ablation_block_size(benchmark, two_venus_traces):
     )
 
 
-def test_ablation_disk_count(benchmark, two_venus_traces):
+def test_ablation_disk_count(benchmark, sweep_runner):
     # "the seeks required by interleaving accesses to six different data
     # files inserted extra delays" -- with all files on one spindle the
     # interleaving costs a seek per request; spread over many disks the
     # streams stay sequential.
-    def run():
-        out = {}
-        for n_disks in (1, 4, 0):  # 0 = one disk per file
-            config = SimConfig(
-                cache=CacheConfig(size_bytes=32 * MB)
-            ).with_disk(n_disks=n_disks)
-            out[n_disks] = simulate(two_venus_traces, config)
-        return out
-
-    results = once(benchmark, run)
+    configs = {
+        n_disks: SimConfig(cache=CacheConfig(size_bytes=32 * MB)).with_disk(
+            n_disks=n_disks
+        )
+        for n_disks in (1, 4, 0)  # 0 = one disk per file
+    }
+    results = once(benchmark, lambda: _grid(sweep_runner, configs))
     print()
     for n, r in results.items():
         label = "per-file" if n == 0 else f"{n} shared"
@@ -111,17 +117,14 @@ def test_ablation_disk_count(benchmark, two_venus_traces):
     # same time, and the process would repeat"), so we only report it.
 
 
-def test_ablation_quantum(benchmark, two_venus_traces):
-    def run():
-        out = {}
-        for quantum in (0.005, 0.05, 0.5):
-            config = SimConfig(
-                cache=CacheConfig(size_bytes=128 * MB)
-            ).with_scheduler(quantum_s=quantum)
-            out[quantum] = simulate(two_venus_traces, config)
-        return out
-
-    results = once(benchmark, run)
+def test_ablation_quantum(benchmark, sweep_runner):
+    configs = {
+        quantum: SimConfig(cache=CacheConfig(size_bytes=128 * MB)).with_scheduler(
+            quantum_s=quantum
+        )
+        for quantum in (0.005, 0.05, 0.5)
+    }
+    results = once(benchmark, lambda: _grid(sweep_runner, configs))
     print()
     for q, r in results.items():
         print(

@@ -13,9 +13,9 @@ from repro.util.asciiplot import ascii_bar_plot
 from repro.util.tables import TextTable
 
 
-def test_fig8_cache_sweep(benchmark):
+def test_fig8_cache_sweep(benchmark, sweep_runner):
     scale = BENCH_SCALES["venus"]
-    points = once(benchmark, lambda: cache_size_sweep(scale=scale))
+    points = once(benchmark, lambda: cache_size_sweep(scale=scale, runner=sweep_runner))
     base = no_idle_execution_seconds(scale)
 
     table = TextTable(

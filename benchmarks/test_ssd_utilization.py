@@ -6,15 +6,15 @@
 
 from conftest import once
 
-from repro.sim import SimConfig, simulate, ssd_utilization_per_app
+from repro.exec.runner import AppWorkloadSpec, SweepPointSpec
+from repro.sim import SimConfig, ssd_utilization_per_app
 from repro.sim.config import CacheConfig
 from repro.util.tables import TextTable
 from repro.util.units import MB
-from repro.workloads import generate_workload
 
 
-def test_ssd_utilization(benchmark):
-    runs = once(benchmark, ssd_utilization_per_app)
+def test_ssd_utilization(benchmark, sweep_runner):
+    runs = once(benchmark, lambda: ssd_utilization_per_app(runner=sweep_runner))
     table = TextTable(
         ["app", "utilization", "warm util", "idle(s)", "hit%"],
         title="Per-application runs with a 256 MB SSD cache",
@@ -43,11 +43,14 @@ def test_ssd_utilization(benchmark):
     assert utils["gcm"] > 0.99 and utils["upw"] > 0.99
 
 
-def test_gcm_tiny_cache_low_idle(benchmark):
+def test_gcm_tiny_cache_low_idle(benchmark, sweep_runner):
     # "even in an 8 MB cache, gcm had only 1 second of idle time."
-    gcm = generate_workload("gcm", scale=0.25)
-    config = SimConfig(cache=CacheConfig(size_bytes=8 * MB))
-    result = once(benchmark, lambda: simulate([gcm.trace], config))
+    point = SweepPointSpec(
+        workload=AppWorkloadSpec(app="gcm", scale=0.25),
+        config=SimConfig(cache=CacheConfig(size_bytes=8 * MB)),
+        label="gcm mem 8MB",
+    )
+    result = once(benchmark, lambda: sweep_runner.run_point(point).result)
     print(
         f"\ngcm, 8 MB cache: idle {result.idle_seconds:.2f} s over "
         f"{result.completion_seconds:.0f} s (paper: ~1 s over 1897 s)"

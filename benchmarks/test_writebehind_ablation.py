@@ -11,10 +11,11 @@ from conftest import BENCH_SCALES, once
 from repro.sim import writebehind_ablation
 
 
-def test_writebehind_ablation(benchmark):
+def test_writebehind_ablation(benchmark, sweep_runner):
     scale = BENCH_SCALES["venus"]
     without, with_wb = once(
-        benchmark, lambda: writebehind_ablation(cache_mb=128, scale=scale)
+        benchmark,
+        lambda: writebehind_ablation(cache_mb=128, scale=scale, runner=sweep_runner),
     )
     print()
     print("write-behind ablation, 2 x venus, 128 MB cache:")

@@ -8,28 +8,50 @@ main memory cache."
 This example runs every traced application alone against (a) a
 main-memory-sized cache (4 MW of a processor's 16 MW allotment = 32 MB)
 and (b) a 32 MW (256 MB) SSD cache, and prints the per-application CPU
-utilizations side by side.
+utilizations side by side.  The fourteen runs are independent, so they
+go through the sweep runner: set ``REPRO_JOBS`` to fan them over a
+process pool (the numbers are identical at any worker count).
 
 Run:  python examples/ssd_vs_main_memory.py
 """
 
 from repro.core.study import DEFAULT_SCALES
-from repro.sim import CacheConfig, SimConfig, simulate, ssd_cache
+from repro.exec.runner import AppWorkloadSpec, SweepPointSpec, SweepRunner
+from repro.sim import CacheConfig, SimConfig, ssd_cache
 from repro.util.tables import TextTable
 from repro.util.units import MB
-from repro.workloads import APP_NAMES, generate_workload
+from repro.workloads import APP_NAMES
 
 
 def main() -> None:
+    points = []
+    for name in APP_NAMES:
+        workload = AppWorkloadSpec(app=name, scale=DEFAULT_SCALES[name])
+        points.append(
+            SweepPointSpec(
+                workload=workload,
+                config=SimConfig(cache=CacheConfig(size_bytes=32 * MB)),
+                label=f"{name} mem 32MB",
+            )
+        )
+        points.append(
+            SweepPointSpec(
+                workload=workload,
+                config=SimConfig(cache=ssd_cache(256 * MB)),
+                label=f"{name} ssd 256MB",
+            )
+        )
+    runner = SweepRunner(jobs=None)  # $REPRO_JOBS, else one worker per CPU
+    results = {r.label: r.result for r in runner.run(points)}
+
     table = TextTable(
         ["app", "32MB mem util", "256MB SSD util", "SSD idle (s)", "SSD hit%"],
         title="One application per run, single CPU",
     )
     worst = None
     for name in APP_NAMES:
-        w = generate_workload(name, scale=DEFAULT_SCALES[name])
-        mem = simulate([w.trace], SimConfig(cache=CacheConfig(size_bytes=32 * MB)))
-        ssd = simulate([w.trace], SimConfig(cache=ssd_cache(256 * MB)))
+        mem = results[f"{name} mem 32MB"]
+        ssd = results[f"{name} ssd 256MB"]
         table.add_row(
             [
                 name,

@@ -10,7 +10,11 @@ and reproduces:
   writes still bursty);
 * Figure 8 -- idle time versus cache size for 4 KB and 8 KB blocks.
 
-Run:  python examples/venus_buffering_study.py [scale]
+The Figure 8 sweep fans out over a process pool: pass a worker count as
+the second argument (or set ``REPRO_JOBS``); the numbers are identical
+at any worker count.
+
+Run:  python examples/venus_buffering_study.py [scale] [jobs]
 """
 
 import sys
@@ -46,6 +50,7 @@ def show_traffic(title: str, run) -> None:
 
 def main() -> None:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+    jobs = int(sys.argv[2]) if len(sys.argv) > 2 else None
 
     fig6 = run_two_venus(cache_mb=32, scale=scale)
     show_traffic("Figure 6: 2 x venus, 32 MB main-memory cache", fig6)
@@ -56,7 +61,7 @@ def main() -> None:
     print("Figure 8: idle time vs cache size")
     base = no_idle_execution_seconds(scale)
     print(f"(execution time would be {base:.0f} s if there were no idle time)\n")
-    points = cache_size_sweep(scale=scale)
+    points = cache_size_sweep(scale=scale, jobs=jobs)
     for block_kb in (4, 8):
         sub = [p for p in points if p.block_kb == block_kb]
         print(

@@ -9,14 +9,18 @@ Usage (``python -m repro <command>``):
 * ``analyze FILE`` -- Table-1/2-style summary, sequentiality and class
   breakdown of any trace file;
 * ``simulate FILE [FILE...] [--cache-mb M] [--block-kb K] [--ssd]
-  [--no-read-ahead] [--no-write-behind] [--cpus N]`` -- replay trace
-  files through the buffering simulator.
+  [--no-read-ahead] [--no-write-behind] [--cpus N] [--jobs N]
+  [--cached]`` -- replay trace files through the buffering simulator;
+* ``sweep [--cache-mb LIST] [--block-kb LIST] [--read-ahead on,off]
+  [--write-behind on,off] [--jobs N] ...`` -- run a configuration grid
+  through the parallel sweep runner with on-disk result memoization.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.analysis.classify import classify_trace
@@ -24,9 +28,24 @@ from repro.analysis.sequentiality import analyze_sequentiality
 from repro.analysis.summary import trace_table1
 from repro.core.registry import EXPERIMENTS, run_experiment
 from repro.core.study import Study
+from repro.exec.cache import ResultCache
+from repro.exec.grid import (
+    GridSpec,
+    parse_floats,
+    parse_toggles,
+    render_sweep_table,
+    sweep_summary,
+)
+from repro.exec.runner import (
+    SweepPointSpec,
+    SweepRunner,
+    TraceFileSpec,
+    resolve_jobs,
+)
 from repro.sim.config import CacheConfig, SimConfig, ssd_cache
-from repro.sim.system import simulate
 from repro.trace.io import read_trace_array, write_trace_array
+from repro.util.errors import SweepError
+from repro.util.rng import DEFAULT_SEED
 from repro.util.units import KB, MB
 from repro.workloads.base import available_models, generate_workload
 
@@ -38,7 +57,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    study = Study(scale=args.scale)
+    study = Study(scale=args.scale, jobs=args.jobs if args.jobs else 1)
     try:
         print(run_experiment(args.experiment, study))
     except KeyError as exc:
@@ -106,22 +125,6 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    traces = []
-    stride = 1_000_000
-    for i, path in enumerate(args.traces):
-        trace = read_trace_array(path)
-        pids = trace.process_ids()
-        if len(pids) != 1:
-            print(f"{path}: need single-process traces", file=sys.stderr)
-            return 2
-        trace = trace.with_process_id(i + 1)
-        if not args.share_files:
-            # Distinct instances must not alias each other's data sets
-            # (the paper ran copies "not sharing data sets").
-            cols = trace.columns().copy()
-            cols["file_id"] = trace.file_id + i * stride
-            trace = type(trace)(**cols)
-        traces.append(trace)
     cache_kwargs = dict(
         block_bytes=int(args.block_kb * KB),
         read_ahead=not args.no_read_ahead,
@@ -132,8 +135,79 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         cache = CacheConfig(size_bytes=int(args.cache_mb * MB), **cache_kwargs)
     config = SimConfig(cache=cache).with_scheduler(n_cpus=args.cpus)
-    result = simulate(traces, config)
-    print(result.summary())
+    point = SweepPointSpec(
+        workload=TraceFileSpec(
+            paths=tuple(args.traces), share_files=args.share_files
+        ),
+        config=config,
+        label=f"simulate {' '.join(args.traces)}",
+    )
+    runner = SweepRunner(
+        jobs=args.jobs if args.jobs else 1,
+        cache=ResultCache() if args.cached else None,
+    )
+    try:
+        point_result = runner.run_point(point)
+    except SweepError as exc:
+        print(str(exc.__cause__ or exc), file=sys.stderr)
+        return 2
+    print(point_result.result.summary())
+    if args.cached:
+        source = "result cache" if point_result.cached else "fresh simulation"
+        print(f"[{source}, key {point_result.key[:16]}]")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    try:
+        grid = GridSpec(
+            app=args.app,
+            n_copies=args.copies,
+            scale=args.scale,
+            workload_seed=args.seed,
+            cache_sizes_mb=parse_floats(args.cache_mb),
+            block_sizes_kb=parse_floats(args.block_kb),
+            read_ahead=parse_toggles(args.read_ahead),
+            write_behind=parse_toggles(args.write_behind),
+            ssd=args.ssd,
+            n_cpus=args.cpus,
+        )
+    except ValueError as exc:
+        print(f"bad grid: {exc}", file=sys.stderr)
+        return 2
+    if args.app not in available_models():
+        print(
+            f"unknown application {args.app!r}; known: "
+            f"{', '.join(available_models())}",
+            file=sys.stderr,
+        )
+        return 2
+    result_cache = (
+        None
+        if args.no_cache
+        else (ResultCache(args.cache_dir) if args.cache_dir else ResultCache())
+    )
+    jobs = resolve_jobs(args.jobs)
+    runner = SweepRunner(jobs=jobs, cache=result_cache)
+    t0 = time.perf_counter()
+    try:
+        results = runner.run(grid.points())
+    except SweepError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - t0
+    kind = "SSD" if args.ssd else "mem"
+    print(
+        render_sweep_table(
+            results,
+            title=(
+                f"sweep: {args.copies}x{args.app} ({kind}), "
+                f"scale={args.scale:g}, seed={args.seed}"
+            ),
+        )
+    )
+    where = "cache disabled" if result_cache is None else f"cache {result_cache.root}"
+    print(f"{sweep_summary(results)} | jobs={jobs} | {elapsed:.1f} s | {where}")
     return 0
 
 
@@ -154,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--scale", type=float, default=None,
         help="workload scale in (0,1]; default: per-app presets",
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for sweep-shaped experiments (default: serial)",
     )
 
     p_gen = sub.add_parser("generate", help="write a synthetic trace file")
@@ -179,6 +257,58 @@ def build_parser() -> argparse.ArgumentParser:
         help="let the traces address the same files (default: each trace "
         "gets a private file-id space, like the paper's non-sharing copies)",
     )
+    p_sim.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (a single point always runs inline)",
+    )
+    p_sim.add_argument(
+        "--cached", action="store_true",
+        help="memoize the result in the on-disk result cache "
+        "($REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="run a config grid through the parallel, memoized sweep runner",
+    )
+    p_sweep.add_argument("--app", default="venus", help="application model")
+    p_sweep.add_argument(
+        "--copies", type=int, default=2,
+        help="non-sharing instances per point (default 2, the paper's setup)",
+    )
+    p_sweep.add_argument("--scale", type=float, default=0.25)
+    p_sweep.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p_sweep.add_argument(
+        "--cache-mb", default="4,8,16,32,64,128,256",
+        help="comma-separated cache sizes in MB (default: the Figure 8 axis)",
+    )
+    p_sweep.add_argument(
+        "--block-kb", default="4,8",
+        help="comma-separated cache block sizes in KB (default: 4,8)",
+    )
+    p_sweep.add_argument(
+        "--read-ahead", default="on",
+        help="read-ahead axis: on, off, or on,off to sweep the toggle",
+    )
+    p_sweep.add_argument(
+        "--write-behind", default="on",
+        help="write-behind axis: on, off, or on,off to sweep the toggle",
+    )
+    p_sweep.add_argument("--ssd", action="store_true")
+    p_sweep.add_argument("--cpus", type=int, default=1)
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: $REPRO_JOBS, else all cores)",
+    )
+    p_sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    p_sweep.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/results)",
+    )
 
     p_fig = sub.add_parser("figures", help="render the figures to SVG+CSV")
     p_fig.add_argument("--out", default="figures")
@@ -201,6 +331,7 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
     "figures": _cmd_figures,
 }
 

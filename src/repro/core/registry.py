@@ -187,6 +187,35 @@ def _batch_tradeoff(study: Study) -> str:
     )
 
 
+def _buffering_sweep(study: Study) -> str:
+    """The what-if grid the paper could not afford to run exhaustively:
+    cache size x read-ahead x write-behind, via the parallel sweep runner.
+    """
+    from repro.exec.grid import GridSpec, render_sweep_table, sweep_summary
+    from repro.exec.runner import SweepRunner
+
+    grid = GridSpec(
+        scale=study.app_scale("venus"),
+        workload_seed=study.seed,
+        cache_sizes_mb=(32, 128),
+        block_sizes_kb=(4,),
+        read_ahead=(True, False),
+        write_behind=(True, False),
+    )
+    runner = SweepRunner(jobs=study.jobs)
+    results = runner.run(grid.points())
+    return "\n".join(
+        [
+            render_sweep_table(
+                results,
+                title="Buffering-policy sweep: 2 x venus, "
+                "cache size x read-ahead x write-behind",
+            ),
+            sweep_summary(results),
+        ]
+    )
+
+
 def _mss_staging(study: Study) -> str:
     from repro.mss.staging import stage_workload
 
@@ -220,6 +249,12 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("fig6", "2 x venus, 32 MB cache", "6.2", _sim_figure(False, 32, "Figure 6")),
         Experiment("fig7", "2 x venus, 128 MB SSD cache", "6.3", _sim_figure(True, 128, "Figure 7")),
         Experiment("fig8", "Idle time vs cache size", "6.4", _figure8),
+        Experiment(
+            "policy-sweep",
+            "Cache size x read-ahead x write-behind grid",
+            "6.2",
+            _buffering_sweep,
+        ),
         Experiment("ssd-utilization", "Per-app utilization on the SSD", "6.3", _ssd_claim),
         Experiment("write-behind", "Write-behind idle-time ablation", "6.2", _writebehind_claim),
         Experiment("n-plus-one", "The n+1 multiprogramming rule", "2.2", _n_plus_one),

@@ -48,6 +48,9 @@ class Study:
 
     scale: float | None = None  #: None = per-app DEFAULT_SCALES
     seed: int = DEFAULT_SEED
+    #: worker processes for sweep-shaped experiments (1 = serial; the
+    #: numbers are identical at any worker count)
+    jobs: int | None = 1
     _workloads: dict[str, GeneratedWorkload] = field(default_factory=dict)
 
     def app_scale(self, name: str) -> float:
@@ -108,12 +111,15 @@ class Study:
     def figure8(self, **kwargs) -> list[SweepPoint]:
         """Figure 8: idle time vs cache size, 4 KB and 8 KB blocks."""
         kwargs.setdefault("scale", self.app_scale("venus"))
+        kwargs.setdefault("jobs", self.jobs)
         return cache_size_sweep(**kwargs)
 
     # -- claims ------------------------------------------------------------------
     def ssd_runs(self, **kwargs) -> list[AppSSDRun]:
+        kwargs.setdefault("jobs", self.jobs)
         return ssd_utilization_per_app(**kwargs)
 
     def writebehind(self, **kwargs) -> tuple[BufferingRun, BufferingRun]:
         kwargs.setdefault("scale", self.app_scale("venus"))
+        kwargs.setdefault("jobs", self.jobs)
         return writebehind_ablation(**kwargs)

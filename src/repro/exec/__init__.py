@@ -1,0 +1,61 @@
+"""Parallel experiment execution: sweep runner + memoized result store.
+
+The scaling layer the section-6 experiments run on:
+
+* :mod:`repro.exec.runner` -- :class:`SweepRunner` fans independent
+  ``(workload, config)`` points over a process pool with per-point
+  deterministic seeding (serial == parallel, bit for bit);
+* :mod:`repro.exec.cache` -- :class:`ResultCache`, a content-addressed
+  on-disk memo of :class:`SimulationResult` pickles;
+* :mod:`repro.exec.keys` -- stable point keys (exact-float canonical
+  JSON + a code-version tag);
+* :mod:`repro.exec.grid` -- :class:`GridSpec`, the cross-product spec
+  behind the ``sweep`` CLI command.
+
+``grid`` names are re-exported lazily (PEP 562): ``grid`` imports the
+canned experiments, which themselves run on the runner, so loading it
+eagerly here would be circular.
+"""
+
+from repro.exec.cache import CacheCounters, ResultCache, default_cache_dir
+from repro.exec.keys import canonical_json, code_version_tag, point_key
+from repro.exec.runner import (
+    AppWorkloadSpec,
+    PointResult,
+    SweepPointSpec,
+    SweepRunner,
+    TraceFileSpec,
+    resolve_jobs,
+)
+
+_GRID_EXPORTS = (
+    "GridSpec",
+    "parse_floats",
+    "parse_toggles",
+    "render_sweep_table",
+    "sweep_summary",
+)
+
+__all__ = [
+    "AppWorkloadSpec",
+    "CacheCounters",
+    "PointResult",
+    "ResultCache",
+    "SweepPointSpec",
+    "SweepRunner",
+    "TraceFileSpec",
+    "canonical_json",
+    "code_version_tag",
+    "default_cache_dir",
+    "point_key",
+    "resolve_jobs",
+    *_GRID_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _GRID_EXPORTS:
+        from repro.exec import grid
+
+        return getattr(grid, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

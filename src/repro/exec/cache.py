@@ -1,0 +1,110 @@
+"""Content-addressed on-disk store for :class:`SimulationResult`\\ s.
+
+Layout (two-level fan-out keeps directories small even for huge sweeps)::
+
+    <root>/<key[:2]>/<key>.pkl
+
+where ``key`` is the hex point key from :mod:`repro.exec.keys`.  Each
+entry is a pickle of ``{"key": ..., "result": SimulationResult}``; the
+embedded key is checked on load so a renamed or corrupted file can never
+alias another point.  Writes go through a temp file + ``os.replace`` so
+concurrent workers (or concurrent sweeps) never observe a torn entry.
+
+The root directory defaults to ``$REPRO_CACHE_DIR``, falling back to
+``~/.cache/repro/results`` (honouring ``$XDG_CACHE_HOME``).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sim.metrics import SimulationResult
+
+
+def default_cache_dir() -> Path:
+    """Resolve the result-cache root from the environment."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "results"
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/store accounting for one :class:`ResultCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+
+@dataclass
+class ResultCache:
+    """Memoized simulation results, addressed by content key."""
+
+    root: Path = field(default_factory=default_cache_dir)
+    counters: CacheCounters = field(default_factory=CacheCounters)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The stored result for ``key``, or None on miss.
+
+        Unreadable or mismatched entries count as misses: a stale or
+        corrupted file must never poison a sweep, only cost a re-run.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            if entry.get("key") != key:
+                raise ValueError("key mismatch")
+            result = entry["result"]
+            if not isinstance(result, SimulationResult):
+                raise ValueError("not a SimulationResult")
+        except (OSError, ValueError, KeyError, EOFError, AttributeError,
+                ImportError, IndexError, pickle.UnpicklingError):
+            self.counters.misses += 1
+            return None
+        self.counters.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> Path:
+        """Store ``result`` under ``key`` atomically; returns the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(
+                    {"key": key, "result": result},
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.counters.stores += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))

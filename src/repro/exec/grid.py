@@ -1,0 +1,143 @@
+"""Grid specifications for the ``sweep`` CLI: axes -> sweep points.
+
+A :class:`GridSpec` is the cross product of cache sizes x block sizes x
+read-ahead x write-behind toggles over N copies of one application (the
+Figure 6-8 family of experiments).  Points come out in a fixed nested
+order -- block, cache, read-ahead, write-behind -- so tables, cache keys
+and derived seeds never depend on argument order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exec.runner import AppWorkloadSpec, PointResult, SweepPointSpec
+from repro.sim.config import CacheConfig, SimConfig, ssd_cache
+from repro.sim.experiments import FIG8_BLOCK_SIZES_KB, FIG8_CACHE_SIZES_MB
+from repro.util.rng import DEFAULT_SEED
+from repro.util.tables import TextTable
+from repro.util.units import KB, MB
+
+
+def _parse_axis(text: str, convert) -> tuple:
+    """Parse a comma-separated CLI axis (``"4,8,16"``) into a tuple."""
+    values = tuple(convert(tok.strip()) for tok in text.split(",") if tok.strip())
+    if not values:
+        raise ValueError(f"empty axis: {text!r}")
+    return values
+
+
+def parse_floats(text: str) -> tuple[float, ...]:
+    return _parse_axis(text, float)
+
+
+def parse_toggles(text: str) -> tuple[bool, ...]:
+    """``"on,off"`` -> (True, False); accepts on/off, true/false, 1/0."""
+
+    def one(tok: str) -> bool:
+        low = tok.lower()
+        if low in ("on", "true", "1", "yes"):
+            return True
+        if low in ("off", "false", "0", "no"):
+            return False
+        raise ValueError(f"bad toggle {tok!r} (want on/off)")
+
+    values = _parse_axis(text, one)
+    if len(set(values)) != len(values):
+        raise ValueError(f"repeated toggle value in {text!r}")
+    return values
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """The cross product defining one sweep."""
+
+    app: str = "venus"
+    n_copies: int = 2
+    scale: float = 0.25
+    workload_seed: int = DEFAULT_SEED
+    cache_sizes_mb: tuple[float, ...] = FIG8_CACHE_SIZES_MB
+    block_sizes_kb: tuple[float, ...] = FIG8_BLOCK_SIZES_KB
+    read_ahead: tuple[bool, ...] = (True,)
+    write_behind: tuple[bool, ...] = (True,)
+    ssd: bool = False
+    n_cpus: int = 1
+
+    @property
+    def n_points(self) -> int:
+        return (
+            len(self.cache_sizes_mb)
+            * len(self.block_sizes_kb)
+            * len(self.read_ahead)
+            * len(self.write_behind)
+        )
+
+    def points(self) -> list[SweepPointSpec]:
+        workload = AppWorkloadSpec(
+            app=self.app,
+            scale=self.scale,
+            seed=self.workload_seed,
+            n_copies=self.n_copies,
+        )
+        kind = "SSD" if self.ssd else "mem"
+        out = []
+        for block_kb in self.block_sizes_kb:
+            for cache_mb in self.cache_sizes_mb:
+                for ra in self.read_ahead:
+                    for wb in self.write_behind:
+                        kwargs = dict(
+                            block_bytes=int(block_kb * KB),
+                            read_ahead=ra,
+                            write_behind=wb,
+                        )
+                        if self.ssd:
+                            cache = ssd_cache(int(cache_mb * MB), **kwargs)
+                        else:
+                            cache = CacheConfig(
+                                size_bytes=int(cache_mb * MB), **kwargs
+                            )
+                        config = SimConfig(cache=cache).with_scheduler(
+                            n_cpus=self.n_cpus
+                        )
+                        label = (
+                            f"{self.n_copies}x{self.app} {kind} "
+                            f"{cache_mb:g}MB/{block_kb:g}KB "
+                            f"ra={'on' if ra else 'off'} "
+                            f"wb={'on' if wb else 'off'}"
+                        )
+                        out.append(
+                            SweepPointSpec(
+                                workload=workload, config=config, label=label
+                            )
+                        )
+        return out
+
+
+def render_sweep_table(results: list[PointResult], *, title: str = "sweep") -> str:
+    """The result table the ``sweep`` CLI command prints."""
+    table = TextTable(
+        ["point", "idle(s)", "utilization", "hit%", "source", "sim(s)"],
+        title=title,
+    )
+    for r in results:
+        table.add_row(
+            [
+                r.label or r.key[:12],
+                round(r.result.idle_seconds, 2),
+                f"{r.result.utilization:.2%}",
+                f"{r.result.cache.hit_fraction:.1%}",
+                "cache" if r.cached else "run",
+                "-" if r.cached else round(r.elapsed_s, 2),
+            ]
+        )
+    return table.render()
+
+
+def sweep_summary(results: list[PointResult]) -> str:
+    """One line of accounting: how much work the memo cache saved."""
+    n_cached = sum(1 for r in results if r.cached)
+    n_run = len(results) - n_cached
+    return (
+        f"{len(results)} point(s): {n_run} simulated, "
+        f"{n_cached} from cache"
+    )

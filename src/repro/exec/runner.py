@@ -1,0 +1,325 @@
+"""Parallel sweep execution with per-point deterministic seeding.
+
+The unit of work is a :class:`SweepPointSpec` -- a workload specification
+plus a :class:`~repro.sim.config.SimConfig`.  A :class:`SweepRunner` fans
+independent points out over a :class:`concurrent.futures.ProcessPoolExecutor`
+(or runs them inline when ``jobs == 1``) and memoizes results in an
+optional :class:`~repro.exec.cache.ResultCache`.
+
+Determinism
+-----------
+Each point's simulator seed is a pure function of what is being
+simulated -- by default its config's own ``seed`` field -- never of
+worker identity or completion order, so serial and parallel runs of the
+same sweep produce bit-identical :class:`SimulationResult`\\ s, and a
+sweep reproduces direct ``simulate()`` calls exactly.
+
+Deliberately, every point of a grid sees the *same* disk-latency draws
+(common random numbers): differences across an ablation are then
+attributable to the configuration, not to the random stream, and the
+paper's paired comparisons (Figure 8's near-coincident 4K/8K curves,
+the write-behind ablation) stay paired.  Deriving a distinct stream per
+point was tried and rejected: it injects cross-point variance that can
+swamp small config effects.  Set ``SweepRunner.seed`` to override every
+point's stream uniformly and sample a different one.
+
+Workload transport
+------------------
+Workloads cross the process boundary as small *specs*, not as traces: a
+worker materializes (and memoizes, per process) the trace arrays from the
+spec, so a 14-point sweep ships a few hundred bytes per point instead of
+megabytes of columns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Sequence, Union
+
+from repro.exec.cache import ResultCache
+from repro.exec.keys import point_key
+from repro.sim.config import SimConfig
+from repro.sim.metrics import SimulationResult
+from repro.sim.procmodel import relabel_copies
+from repro.sim.system import simulate
+from repro.trace.array import TraceArray
+from repro.util.errors import SweepError
+from repro.util.rng import DEFAULT_SEED
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit ``jobs`` > ``$REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+# -- workload specifications -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AppWorkloadSpec:
+    """N non-sharing copies of one modelled application."""
+
+    app: str
+    scale: float
+    seed: int = DEFAULT_SEED
+    n_copies: int = 1
+
+    def key_material(self) -> dict:
+        return {
+            "kind": "app",
+            "app": self.app,
+            "scale": self.scale,
+            "seed": self.seed,
+            "n_copies": self.n_copies,
+        }
+
+    def materialize(self) -> list[TraceArray]:
+        workload = generated_workload(self.app, self.scale, self.seed)
+        if self.n_copies == 1:
+            return [workload.trace]
+        return relabel_copies(workload.trace, self.n_copies)
+
+    def cpu_seconds(self) -> float:
+        """Total CPU demand of all copies (the no-idle baseline)."""
+        return self.n_copies * generated_workload(
+            self.app, self.scale, self.seed
+        ).cpu_seconds
+
+
+@dataclass(frozen=True)
+class TraceFileSpec:
+    """Trace files replayed as one process each (the ``simulate`` CLI).
+
+    The key material hashes the file *contents*, so editing a trace file
+    invalidates its cached results even at the same path.
+    """
+
+    paths: tuple[str, ...]
+    share_files: bool = False
+    file_id_stride: int = 1_000_000
+
+    def key_material(self) -> dict:
+        return {
+            "kind": "files",
+            "sha256": [self._digest(p) for p in self.paths],
+            "share_files": self.share_files,
+            "file_id_stride": self.file_id_stride,
+        }
+
+    @staticmethod
+    def _digest(path: str) -> str:
+        h = hashlib.sha256()
+        with open(path, "rb") as fh:
+            for chunk in iter(lambda: fh.read(1 << 20), b""):
+                h.update(chunk)
+        return h.hexdigest()
+
+    def materialize(self) -> list[TraceArray]:
+        from repro.trace.io import read_trace_array
+
+        traces = []
+        for i, path in enumerate(self.paths):
+            trace = read_trace_array(path)
+            if len(trace.process_ids()) != 1:
+                raise SweepError(f"{path}: need single-process traces")
+            trace = trace.with_process_id(i + 1)
+            if not self.share_files:
+                # Distinct instances must not alias each other's data
+                # sets (the paper ran copies "not sharing data sets").
+                cols = trace.columns().copy()
+                cols["file_id"] = trace.file_id + i * self.file_id_stride
+                trace = type(trace)(**cols)
+            traces.append(trace)
+        return traces
+
+
+WorkloadSpecLike = Union[AppWorkloadSpec, TraceFileSpec]
+
+#: Per-process memo of generated workloads, keyed by (app, scale, seed).
+#: Each pool worker generates a given workload once, no matter how many
+#: sweep points replay it.
+_WORKLOADS: dict = {}
+
+
+def generated_workload(app: str, scale: float, seed: int):
+    """Memoized :func:`generate_workload` (per process)."""
+    from repro.workloads.base import generate_workload
+
+    key = (app, scale, seed)
+    if key not in _WORKLOADS:
+        _WORKLOADS[key] = generate_workload(app, scale=scale, seed=seed)
+    return _WORKLOADS[key]
+
+
+# -- sweep points ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SweepPointSpec:
+    """One independent ``(workload, config)`` simulation."""
+
+    workload: WorkloadSpecLike
+    config: SimConfig
+    #: presentation only -- never part of the cache key
+    label: str = ""
+
+    def key(self, sweep_seed: int | None) -> str:
+        return point_key(self.config, self.workload.key_material(), sweep_seed)
+
+
+@dataclass(frozen=True)
+class PointResult:
+    """Outcome of one sweep point."""
+
+    point: SweepPointSpec
+    result: SimulationResult
+    key: str
+    sim_seed: int
+    cached: bool
+    elapsed_s: float
+
+    @property
+    def label(self) -> str:
+        return self.point.label
+
+
+def _simulate_point(point: SweepPointSpec, sim_seed: int) -> SimulationResult:
+    """Worker entry: materialize the workload and run the simulator."""
+    traces = point.workload.materialize()
+    return simulate(traces, point.config.with_seed(sim_seed))
+
+
+# -- the runner --------------------------------------------------------------
+
+
+@dataclass
+class SweepRunner:
+    """Fan independent sweep points out over processes, memoizing results.
+
+    ``jobs=None`` resolves via :func:`resolve_jobs` (``$REPRO_JOBS`` or
+    the CPU count); ``jobs=1`` runs inline with no pool.  ``cache=None``
+    disables memoization.  ``seed=None`` (the default) simulates every
+    point with its config's own seed; an int overrides all of them with
+    one shared stream (see the module docstring).
+    """
+
+    jobs: int | None = 1
+    cache: ResultCache | None = None
+    seed: int | None = None
+    #: points simulated (not served from cache) over this runner's lifetime
+    simulated: int = field(default=0, init=False)
+    #: points served from the result cache
+    cache_hits: int = field(default=0, init=False)
+
+    def effective_jobs(self, n_points: int) -> int:
+        return min(resolve_jobs(self.jobs), max(1, n_points))
+
+    def sim_seed(self, point: SweepPointSpec) -> int:
+        """The point's simulator seed (shared across the sweep on
+        purpose -- see the module docstring on common random numbers)."""
+        return self.seed if self.seed is not None else point.config.seed
+
+    def run_point(self, point: SweepPointSpec) -> PointResult:
+        return self.run([point])[0]
+
+    def run(self, points: Sequence[SweepPointSpec]) -> list[PointResult]:
+        """Run all points (cache, then pool) and return them in order."""
+        points = list(points)
+        keys = [p.key(self.seed) for p in points]
+        seeds = [self.sim_seed(p) for p in points]
+        results: list[SimulationResult | None] = [None] * len(points)
+        cached = [False] * len(points)
+        elapsed = [0.0] * len(points)
+
+        todo: list[int] = []
+        for i, key in enumerate(keys):
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                results[i] = hit
+                cached[i] = True
+                self.cache_hits += 1
+            else:
+                todo.append(i)
+
+        if todo:
+            n_jobs = self.effective_jobs(len(todo))
+            if n_jobs == 1:
+                for i in todo:
+                    t0 = time.perf_counter()
+                    results[i] = self._guarded(points[i], seeds[i])
+                    elapsed[i] = time.perf_counter() - t0
+            else:
+                self._run_pool(points, seeds, todo, n_jobs, results, elapsed)
+            for i in todo:
+                if self.cache is not None:
+                    self.cache.put(keys[i], results[i])
+                self.simulated += 1
+
+        return [
+            PointResult(
+                point=points[i],
+                result=results[i],
+                key=keys[i],
+                sim_seed=seeds[i],
+                cached=cached[i],
+                elapsed_s=elapsed[i],
+            )
+            for i in range(len(points))
+        ]
+
+    def _guarded(self, point: SweepPointSpec, seed: int) -> SimulationResult:
+        try:
+            return _simulate_point(point, seed)
+        except SweepError:
+            raise
+        except Exception as exc:
+            raise SweepError(
+                f"sweep point {point.label or point.workload!r} failed: {exc}"
+            ) from exc
+
+    def _run_pool(
+        self,
+        points: list[SweepPointSpec],
+        seeds: list[int],
+        todo: list[int],
+        n_jobs: int,
+        results: list,
+        elapsed: list[float],
+    ) -> None:
+        t0 = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
+            futures = {
+                pool.submit(_simulate_point, points[i], seeds[i]): i for i in todo
+            }
+            # Fail fast: the first broken point cancels everything still
+            # queued instead of letting the pool grind on (or hang).
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            first_error: tuple[int, BaseException] | None = None
+            for future in done:
+                i = futures[future]
+                exc = future.exception()
+                if exc is not None:
+                    if first_error is None or todo.index(i) < todo.index(
+                        first_error[0]
+                    ):
+                        first_error = (i, exc)
+                else:
+                    results[i] = future.result()
+                    elapsed[i] = time.perf_counter() - t0
+            if first_error is not None:
+                for future in not_done:
+                    future.cancel()
+                i, exc = first_error
+                point = points[i]
+                raise SweepError(
+                    f"sweep point {point.label or point.workload!r} failed: {exc}"
+                ) from exc

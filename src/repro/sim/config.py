@@ -18,9 +18,26 @@ One :class:`SimConfig` captures every knob section 6 describes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 
 from repro.util.units import KB, MB
+
+
+def _config_dict(obj) -> dict:
+    """A plain dict of a config dataclass in declared field order.
+
+    Field order is the dataclass declaration order (not ``sorted``) so the
+    serialized form is stable across Python versions and refactors that
+    merely reorder keyword arguments at call sites.  Values are left as
+    the native ints/floats/bools/None; callers that need a drift-proof
+    text form (cache keys, golden fixtures) should render floats with
+    ``float.hex`` -- see :mod:`repro.exec.keys`.
+    """
+    out = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        out[f.name] = _config_dict(value) if is_dataclass(value) else value
+    return out
 
 
 @dataclass(frozen=True)
@@ -52,6 +69,14 @@ class DiskConfig:
             + (self.min_seek_s + self.max_seek_s) / 2
             + self.rotation_period_s / 2
         )
+
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict form (stable field order)."""
+        return _config_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DiskConfig":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -101,6 +126,14 @@ class CacheConfig:
         depth = self.size_bytes // (16 * request_bytes)
         return int(min(8, max(1, depth)))
 
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict form (stable field order)."""
+        return _config_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        return cls(**data)
+
 
 #: SSD penalties from section 6.3: ~1 us/KB at 1 GB/s plus setup.
 SSD_HIT_SETUP_S = 50e-6
@@ -133,6 +166,14 @@ class SchedulerConfig:
     #: traced system's library path); default 0 to avoid double counting.
     fs_overhead_s: float = 0.0
 
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict form (stable field order)."""
+        return _config_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedulerConfig":
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class SimConfig:
@@ -153,3 +194,20 @@ class SimConfig:
 
     def with_disk(self, **changes) -> "SimConfig":
         return replace(self, disk=replace(self.disk, **changes))
+
+    def with_seed(self, seed: int) -> "SimConfig":
+        return replace(self, seed=seed)
+
+    def to_dict(self) -> dict:
+        """Deterministic nested-dict form (stable field order throughout)."""
+        return _config_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        data = dict(data)
+        return cls(
+            cache=CacheConfig.from_dict(data.pop("cache")),
+            disk=DiskConfig.from_dict(data.pop("disk")),
+            scheduler=SchedulerConfig.from_dict(data.pop("scheduler")),
+            **data,
+        )

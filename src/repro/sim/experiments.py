@@ -3,17 +3,35 @@
 Every table/figure benchmark calls one of these; the examples reuse them
 too.  Each returns plain result objects so callers can print, assert or
 plot as they wish.
+
+All the sweep-shaped experiments (Figure 8, the per-app SSD runs, the
+ablations, the n+1 rule) execute through :class:`repro.exec.SweepRunner`:
+pass ``jobs`` to fan the points over a process pool (default: honour
+``$REPRO_JOBS`` when set, else run serially) and ``result_cache`` to
+memoize results on disk.  Every point simulates with its config's own
+seed, so the numbers do not depend on ``jobs`` and match what direct
+``simulate()`` calls produce.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
+from repro.exec.cache import ResultCache
+from repro.exec.runner import (
+    AppWorkloadSpec,
+    PointResult,
+    SweepPointSpec,
+    SweepRunner,
+    generated_workload,
+)
 from repro.sim.config import CacheConfig, SimConfig, ssd_cache
 from repro.sim.metrics import SimulationResult
 from repro.sim.procmodel import relabel_copies
 from repro.sim.system import simulate
 from repro.trace.array import TraceArray
+from repro.util.rng import DEFAULT_SEED
 from repro.util.units import KB, MB
 from repro.workloads.base import GeneratedWorkload, generate_workload
 
@@ -31,6 +49,24 @@ FIG8_BLOCK_SIZES_KB = (4, 8)
 def two_copies(workload: GeneratedWorkload) -> list[TraceArray]:
     """Two identical instances "running with ... and not sharing data sets"."""
     return relabel_copies(workload.trace, 2)
+
+
+def _runner(
+    runner: SweepRunner | None,
+    jobs: int | None,
+    result_cache: ResultCache | None,
+) -> SweepRunner:
+    """The runner an experiment should use (an explicit one wins).
+
+    ``jobs=None`` honours ``$REPRO_JOBS`` when set and otherwise runs
+    serially -- library calls never spawn a pool unless asked to.
+    """
+    if runner is not None:
+        return runner
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else 1
+    return SweepRunner(jobs=jobs, cache=result_cache)
 
 
 @dataclass(frozen=True)
@@ -51,6 +87,68 @@ class BufferingRun:
         return self.result.utilization
 
 
+def _venus_cache(
+    *,
+    cache_mb: float,
+    block_kb: float,
+    read_ahead: bool,
+    write_behind: bool,
+    ssd: bool,
+    max_blocks_per_process: int | None,
+) -> CacheConfig:
+    kwargs = dict(
+        block_bytes=int(block_kb * KB),
+        read_ahead=read_ahead,
+        write_behind=write_behind,
+        max_blocks_per_process=max_blocks_per_process,
+    )
+    if ssd:
+        return ssd_cache(int(cache_mb * MB), **kwargs)
+    return CacheConfig(size_bytes=int(cache_mb * MB), **kwargs)
+
+
+def _two_venus_point(
+    *,
+    cache_mb: float,
+    block_kb: float,
+    read_ahead: bool,
+    write_behind: bool,
+    ssd: bool,
+    scale: float,
+    seed: int | None,
+    max_blocks_per_process: int | None,
+) -> SweepPointSpec:
+    cache = _venus_cache(
+        cache_mb=cache_mb,
+        block_kb=block_kb,
+        read_ahead=read_ahead,
+        write_behind=write_behind,
+        ssd=ssd,
+        max_blocks_per_process=max_blocks_per_process,
+    )
+    kind = "SSD" if ssd else "mem"
+    return SweepPointSpec(
+        workload=AppWorkloadSpec(
+            app="venus",
+            scale=scale,
+            seed=DEFAULT_SEED if seed is None else seed,
+            n_copies=2,
+        ),
+        config=SimConfig(cache=cache),
+        label=f"2xvenus {kind} {cache_mb:g}MB/{block_kb:g}KB "
+        f"ra={'on' if read_ahead else 'off'} wb={'on' if write_behind else 'off'}",
+    )
+
+
+def _buffering_run(point_result: PointResult, cache_mb: float, block_kb: float) -> BufferingRun:
+    return BufferingRun(
+        label=point_result.label,
+        cache_mb=cache_mb,
+        block_kb=block_kb,
+        result=point_result.result,
+    )
+
+
 def run_two_venus(
     *,
     cache_mb: float = 32.0,
@@ -61,36 +159,22 @@ def run_two_venus(
     scale: float = 0.25,
     seed: int | None = None,
     max_blocks_per_process: int | None = None,
+    runner: SweepRunner | None = None,
+    result_cache: ResultCache | None = None,
 ) -> BufferingRun:
     """The paper's workhorse experiment: two venus copies, one CPU."""
-    kwargs = {} if seed is None else {"seed": seed}
-    venus = generate_workload("venus", scale=scale, **kwargs)
-    traces = two_copies(venus)
-    cache_kwargs = dict(
-        read_ahead=read_ahead,
-        write_behind=write_behind,
-        max_blocks_per_process=max_blocks_per_process,
-    )
-    if ssd:
-        cache = ssd_cache(
-            int(cache_mb * MB), block_bytes=int(block_kb * KB), **cache_kwargs
-        )
-    else:
-        cache = CacheConfig(
-            size_bytes=int(cache_mb * MB),
-            block_bytes=int(block_kb * KB),
-            **cache_kwargs,
-        )
-    config = SimConfig(cache=cache)
-    result = simulate(traces, config)
-    kind = "SSD" if ssd else "mem"
-    return BufferingRun(
-        label=f"2xvenus {kind} {cache_mb:g}MB/{block_kb:g}KB "
-        f"ra={'on' if read_ahead else 'off'} wb={'on' if write_behind else 'off'}",
+    point = _two_venus_point(
         cache_mb=cache_mb,
         block_kb=block_kb,
-        result=result,
+        read_ahead=read_ahead,
+        write_behind=write_behind,
+        ssd=ssd,
+        scale=scale,
+        seed=seed,
+        max_blocks_per_process=max_blocks_per_process,
     )
+    r = _runner(runner, 1, result_cache)
+    return _buffering_run(r.run_point(point), cache_mb, block_kb)
 
 
 @dataclass(frozen=True)
@@ -108,40 +192,51 @@ def cache_size_sweep(
     block_sizes_kb=FIG8_BLOCK_SIZES_KB,
     scale: float = 0.25,
     ssd: bool = False,
+    seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[SweepPoint]:
     """Figure 8: idle time versus cache size, per block size.
 
-    The venus traces are generated once and re-simulated per
+    The venus traces are generated once (per worker) and re-simulated per
     configuration, exactly like re-running the paper's simulator with new
-    parameters over fixed trace files.
+    parameters over fixed trace files.  ``jobs`` fans the grid over a
+    process pool; the results are identical at any worker count.
     """
-    venus = generate_workload("venus", scale=scale)
-    base_traces = two_copies(venus)
     points = []
     for block_kb in block_sizes_kb:
         for cache_mb in cache_sizes_mb:
-            if ssd:
-                cache = ssd_cache(int(cache_mb * MB), block_bytes=int(block_kb * KB))
-            else:
-                cache = CacheConfig(
-                    size_bytes=int(cache_mb * MB), block_bytes=int(block_kb * KB)
-                )
-            result = simulate(base_traces, SimConfig(cache=cache))
             points.append(
-                SweepPoint(
+                _two_venus_point(
                     cache_mb=cache_mb,
                     block_kb=block_kb,
-                    idle_seconds=result.idle_seconds,
-                    utilization=result.utilization,
-                    hit_fraction=result.cache.hit_fraction,
+                    read_ahead=True,
+                    write_behind=True,
+                    ssd=ssd,
+                    scale=scale,
+                    seed=seed,
+                    max_blocks_per_process=None,
                 )
             )
-    return points
+    r = _runner(runner, jobs, result_cache)
+    out = []
+    for spec, pr in zip(points, r.run(points)):
+        out.append(
+            SweepPoint(
+                cache_mb=spec.config.cache.size_bytes / MB,
+                block_kb=spec.config.cache.block_bytes / KB,
+                idle_seconds=pr.result.idle_seconds,
+                utilization=pr.result.utilization,
+                hit_fraction=pr.result.cache.hit_fraction,
+            )
+        )
+    return out
 
 
 def no_idle_execution_seconds(scale: float = 0.25) -> float:
     """The sweep's "761 seconds" baseline at this scale: total CPU demand."""
-    venus = generate_workload("venus", scale=scale)
+    venus = generated_workload("venus", scale, DEFAULT_SEED)
     return 2 * venus.cpu_seconds
 
 
@@ -164,6 +259,10 @@ def ssd_utilization_per_app(
     scales: dict[str, float] | None = None,
     apps=("bvi", "ccm", "forma", "gcm", "les", "venus", "upw"),
     warmup_fraction: float = 0.25,
+    seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[AppSSDRun]:
     """Section 6.3: each application alone with a 32 MW (256 MB) SSD cache.
 
@@ -182,11 +281,18 @@ def ssd_utilization_per_app(
         "upw": 0.2,
     }
     scales = {**default_scales, **(scales or {})}
+    points = [
+        SweepPointSpec(
+            workload=AppWorkloadSpec(app=name, scale=scales[name], seed=seed),
+            config=SimConfig(cache=ssd_cache(int(ssd_mb * MB))),
+            label=f"{name} SSD {ssd_mb:g}MB",
+        )
+        for name in apps
+    ]
+    r = _runner(runner, jobs, result_cache)
     runs = []
-    for name in apps:
-        w = generate_workload(name, scale=scales[name])
-        config = SimConfig(cache=ssd_cache(int(ssd_mb * MB)))
-        result = simulate([w.trace], config)
+    for name, pr in zip(apps, r.run(points)):
+        result = pr.result
         runs.append(
             AppSSDRun(
                 name=name,
@@ -202,29 +308,102 @@ def ssd_utilization_per_app(
     return runs
 
 
+def _two_venus_pair(
+    without_kwargs: dict,
+    with_kwargs: dict,
+    *,
+    jobs: int | None,
+    result_cache: ResultCache | None,
+    runner: SweepRunner | None,
+) -> tuple[BufferingRun, BufferingRun]:
+    """Run an (off, on) ablation pair through one runner."""
+    points = [_two_venus_point(**without_kwargs), _two_venus_point(**with_kwargs)]
+    r = _runner(runner, jobs, result_cache)
+    results = r.run(points)
+    return tuple(
+        _buffering_run(pr, kw["cache_mb"], kw["block_kb"])
+        for pr, kw in zip(results, (without_kwargs, with_kwargs))
+    )
+
+
+def _ablation_kwargs(**overrides) -> dict:
+    base = dict(
+        cache_mb=32.0,
+        block_kb=4.0,
+        read_ahead=True,
+        write_behind=True,
+        ssd=False,
+        scale=0.25,
+        seed=None,
+        max_blocks_per_process=None,
+    )
+    base.update(overrides)
+    return base
+
+
 def writebehind_ablation(
-    *, cache_mb: float = 128.0, scale: float = 0.25, ssd: bool = True
+    *,
+    cache_mb: float = 128.0,
+    scale: float = 0.25,
+    ssd: bool = True,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> tuple[BufferingRun, BufferingRun]:
     """Section 6.2's claim: "writebehind reduced idle time from 211 seconds
     to 1 second for a simulation of two identical copies of venus running
     with a 128 MB cache."  Returns (without, with) write-behind.
     """
-    without = run_two_venus(
-        cache_mb=cache_mb, write_behind=False, scale=scale, ssd=ssd
+    return _two_venus_pair(
+        _ablation_kwargs(cache_mb=cache_mb, scale=scale, ssd=ssd, write_behind=False),
+        _ablation_kwargs(cache_mb=cache_mb, scale=scale, ssd=ssd, write_behind=True),
+        jobs=jobs,
+        result_cache=result_cache,
+        runner=runner,
     )
-    with_wb = run_two_venus(
-        cache_mb=cache_mb, write_behind=True, scale=scale, ssd=ssd
-    )
-    return without, with_wb
 
 
 def readahead_ablation(
-    *, cache_mb: float = 32.0, scale: float = 0.25
+    *,
+    cache_mb: float = 32.0,
+    scale: float = 0.25,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> tuple[BufferingRun, BufferingRun]:
     """Read-ahead off/on at a main-memory-sized cache."""
-    without = run_two_venus(cache_mb=cache_mb, read_ahead=False, scale=scale)
-    with_ra = run_two_venus(cache_mb=cache_mb, read_ahead=True, scale=scale)
-    return without, with_ra
+    return _two_venus_pair(
+        _ablation_kwargs(cache_mb=cache_mb, scale=scale, read_ahead=False),
+        _ablation_kwargs(cache_mb=cache_mb, scale=scale, read_ahead=True),
+        jobs=jobs,
+        result_cache=result_cache,
+        runner=runner,
+    )
+
+
+def buffer_cap_ablation(
+    *,
+    cache_mb: float = 32.0,
+    scale: float = 0.25,
+    cap_fraction: float = 0.5,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+    runner: SweepRunner | None = None,
+) -> tuple[BufferingRun, BufferingRun]:
+    """Section 6.2: capping per-process buffer ownership "did not relieve
+    the problem, and actually worsened CPU utilization in several cases."
+    Returns (uncapped, capped at cap_fraction of the cache).
+    """
+    cap_blocks = int(cache_mb * MB / (4 * KB) * cap_fraction)
+    return _two_venus_pair(
+        _ablation_kwargs(cache_mb=cache_mb, scale=scale),
+        _ablation_kwargs(
+            cache_mb=cache_mb, scale=scale, max_blocks_per_process=cap_blocks
+        ),
+        jobs=jobs,
+        result_cache=result_cache,
+        runner=runner,
+    )
 
 
 @dataclass(frozen=True)
@@ -274,6 +453,9 @@ def paging_vs_staging(
 
     The asymmetry is exactly the paper's argument: prediction, and
     per-request overhead amortization.
+
+    (Runs directly, not through the sweep runner: the paged variant uses
+    an ad-hoc unregistered model class that cannot be named by a spec.)
     """
     from repro.workloads.apps.venus import VenusModel
 
@@ -318,6 +500,10 @@ def n_plus_one_rule(
     max_extra_jobs: int = 3,
     cache_mb: float = 48.0,
     scale: float = 0.1,
+    seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[NPlusOnePoint]:
     """Section 2.2's multiprogramming rule, measured.
 
@@ -331,36 +517,26 @@ def n_plus_one_rule(
     reports the utilizations.  With an I/O-intensive app at a modest
     cache, n+1 is *not* enough -- the paper's caveat.
     """
-    workload = generate_workload(app, scale=scale)
-    points = []
-    for extra in range(0, max_extra_jobs + 1):
-        n_jobs = n_cpus + extra
-        traces = relabel_copies(workload.trace, n_jobs)
-        config = SimConfig(
-            cache=CacheConfig(size_bytes=int(cache_mb * MB))
-        ).with_scheduler(n_cpus=n_cpus)
-        result = simulate(traces, config)
-        points.append(
-            NPlusOnePoint(
-                n_cpus=n_cpus,
-                n_jobs=n_jobs,
-                utilization=result.utilization,
-                idle_seconds=result.idle_seconds,
-            )
+    job_counts = [n_cpus + extra for extra in range(0, max_extra_jobs + 1)]
+    points = [
+        SweepPointSpec(
+            workload=AppWorkloadSpec(
+                app=app, scale=scale, seed=seed, n_copies=n_jobs
+            ),
+            config=SimConfig(
+                cache=CacheConfig(size_bytes=int(cache_mb * MB))
+            ).with_scheduler(n_cpus=n_cpus),
+            label=f"{n_jobs}x{app} on {n_cpus} CPUs",
         )
-    return points
-
-
-def buffer_cap_ablation(
-    *, cache_mb: float = 32.0, scale: float = 0.25, cap_fraction: float = 0.5
-) -> tuple[BufferingRun, BufferingRun]:
-    """Section 6.2: capping per-process buffer ownership "did not relieve
-    the problem, and actually worsened CPU utilization in several cases."
-    Returns (uncapped, capped at cap_fraction of the cache).
-    """
-    uncapped = run_two_venus(cache_mb=cache_mb, scale=scale)
-    cap_blocks = int(cache_mb * MB / (4 * KB) * cap_fraction)
-    capped = run_two_venus(
-        cache_mb=cache_mb, scale=scale, max_blocks_per_process=cap_blocks
-    )
-    return uncapped, capped
+        for n_jobs in job_counts
+    ]
+    r = _runner(runner, jobs, result_cache)
+    return [
+        NPlusOnePoint(
+            n_cpus=n_cpus,
+            n_jobs=n_jobs,
+            utilization=pr.result.utilization,
+            idle_seconds=pr.result.idle_seconds,
+        )
+        for n_jobs, pr in zip(job_counts, r.run(points))
+    ]

@@ -207,6 +207,56 @@ class SimulationResult:
         times = np.arange(n) * r.bin_width
         return RateSeries(times, rates, r.bin_width)
 
+    def digest(self) -> str:
+        """SHA-256 over every scalar and series in the result.
+
+        Two runs are the same simulation iff their digests match -- the
+        determinism contract the parallel sweep runner is tested against
+        (serial and pooled execution must be bit-identical).
+        """
+        import hashlib
+        import struct
+
+        h = hashlib.sha256()
+
+        def f(x: float) -> None:
+            h.update(struct.pack("<d", float(x)))
+
+        def i(x: int) -> None:
+            h.update(struct.pack("<q", int(x)))
+
+        f(self.wall_seconds)
+        f(self.completion_seconds)
+        i(self.n_cpus)
+        f(self.busy_seconds)
+        f(self.switch_seconds)
+        f(self.interrupt_seconds)
+        f(self.disk_sequential_fraction)
+        f(self.disk_busy_seconds)
+        i(self.events_run)
+        for name in (
+            "read_requests", "read_bytes", "write_requests", "write_bytes",
+            "block_hits", "block_misses", "block_inflight_hits",
+            "readahead_hits", "prefetch_issued", "prefetch_blocks",
+            "writes_absorbed", "writes_cancelled", "frame_stalls",
+            "bypass_requests",
+        ):
+            i(getattr(self.cache, name))
+        for pid in sorted(self.processes):
+            p = self.processes[pid]
+            i(pid)
+            f(p.cpu_seconds)
+            f(p.blocked_seconds)
+            f(-1.0 if p.finish_time is None else p.finish_time)
+            i(p.n_ios)
+        for series in (
+            self.disk_read_rate, self.disk_write_rate,
+            self.demand_rate, self.busy_rate,
+        ):
+            f(series.bin_width)
+            h.update(series.rates.astype("<f8").tobytes())
+        return h.hexdigest()
+
     def summary(self) -> str:
         lines = [
             f"wall time: {self.wall_seconds:.2f} s",

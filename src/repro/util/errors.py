@@ -30,6 +30,15 @@ class CalibrationError(ReproError):
     """A workload generator failed to meet its catalog targets."""
 
 
+class SweepError(ReproError):
+    """A parallel sweep failed.
+
+    Wraps the first failing point's error with its label so callers see
+    *which* configuration broke; the original exception is chained as
+    ``__cause__``.
+    """
+
+
 class RuntimeAPIError(ReproError):
     """Misuse of the simulated application runtime's file API.
 

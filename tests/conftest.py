@@ -1,0 +1,27 @@
+"""Suite-wide pytest hooks.
+
+``--update-golden`` regenerates the committed JSON fixtures under
+``tests/integration/golden/`` instead of comparing against them.  Use it
+after an intentional change to the workload models or simulator::
+
+    PYTHONPATH=src python -m pytest tests/integration/test_golden_tables.py \\
+        --update-golden
+
+then review and commit the diff like any other code change.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden JSON fixtures from current outputs",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")

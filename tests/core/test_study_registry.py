@@ -50,6 +50,7 @@ class TestRegistry:
             "fig6",
             "fig7",
             "fig8",
+            "policy-sweep",
             "ssd-utilization",
             "write-behind",
             "n-plus-one",

@@ -1,0 +1,184 @@
+"""Cache keys and the on-disk result store.
+
+Covers the serialization invariants the cache depends on (stable field
+order, exact float text, label exclusion), hit/miss/invalidation
+behaviour, and the corruption-tolerance contract: a bad entry costs a
+re-run, never a wrong result.
+"""
+
+import pickle
+
+import pytest
+
+from repro.exec import keys as keys_mod
+from repro.exec.cache import ResultCache
+from repro.exec.keys import canonical_json, canonical_value, point_key
+from repro.exec.runner import AppWorkloadSpec, SweepPointSpec, SweepRunner
+from repro.sim.config import CacheConfig, DiskConfig, SchedulerConfig, SimConfig
+from repro.util.units import KB, MB
+
+WORKLOAD = AppWorkloadSpec(app="venus", scale=0.05, n_copies=2)
+
+
+def small_point(cache_mb=8):
+    return SweepPointSpec(
+        workload=WORKLOAD,
+        config=SimConfig(cache=CacheConfig(size_bytes=cache_mb * MB)),
+        label=f"venus {cache_mb}MB",
+    )
+
+
+class TestCanonicalJson:
+    def test_dict_insertion_order_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json({"b": 2, "a": 1})
+
+    def test_floats_exact_not_repr(self):
+        # 0.1 and the nearest float to its 17-digit repr are the same
+        # object; a float a few ulps away must hash differently even
+        # where repr would round identically at low precision.
+        a = canonical_json(0.1)
+        b = canonical_json(0.1 + 2e-17)
+        assert "0x" in a  # float.hex form
+        assert a != b
+
+    def test_tuple_and_list_agree(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_bool_not_confused_with_int(self):
+        assert canonical_json(True) != canonical_json(1)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonical_value(object())
+
+    def test_config_field_order_stable(self):
+        d = SimConfig().to_dict()
+        assert list(d["cache"]) == [f.name for f in CacheConfig.__dataclass_fields__.values()]
+
+
+class TestConfigRoundTrip:
+    def test_to_from_dict_identity(self):
+        config = SimConfig(
+            cache=CacheConfig(size_bytes=32 * MB, block_bytes=8 * KB),
+            disk=DiskConfig(n_disks=4),
+            scheduler=SchedulerConfig(n_cpus=2),
+            seed=7,
+        )
+        rebuilt = SimConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert canonical_json(rebuilt) == canonical_json(config)
+
+    def test_with_seed_only_changes_seed(self):
+        config = SimConfig()
+        reseeded = config.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.cache == config.cache
+
+
+class TestPointKeys:
+    def test_key_stable_across_calls(self):
+        p = small_point()
+        assert p.key(0) == p.key(0)
+
+    def test_config_change_changes_key(self):
+        assert small_point(8).key(0) != small_point(32).key(0)
+
+    def test_workload_change_changes_key(self):
+        a = small_point()
+        b = SweepPointSpec(
+            workload=AppWorkloadSpec(app="venus", scale=0.05, n_copies=1),
+            config=a.config,
+        )
+        assert a.key(0) != b.key(0)
+
+    def test_sweep_seed_changes_key(self):
+        p = small_point()
+        assert p.key(0) != p.key(1)
+
+    def test_code_version_changes_key(self, monkeypatch):
+        p = small_point()
+        before = p.key(0)
+        monkeypatch.setattr(keys_mod, "code_version_tag", lambda: "f" * 64)
+        assert p.key(0) != before
+
+    def test_point_key_is_sha256_hex(self):
+        key = point_key(SimConfig(), WORKLOAD.key_material(), 0)
+        assert len(key) == 64
+        int(key, 16)
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    """One real (tiny) SimulationResult to store and reload."""
+    return SweepRunner(jobs=1).run_point(
+        SweepPointSpec(
+            workload=AppWorkloadSpec(app="venus", scale=0.05),
+            config=SimConfig(cache=CacheConfig(size_bytes=8 * MB)),
+        )
+    ).result
+
+
+class TestResultCache:
+    KEY = "ab" + "0" * 62
+
+    def test_miss_on_empty(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(self.KEY) is None
+        assert cache.counters.misses == 1
+        assert self.KEY not in cache
+        assert len(cache) == 0
+
+    def test_put_get_round_trip(self, tmp_path, sim_result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(self.KEY, sim_result)
+        assert path == tmp_path / "ab" / f"{self.KEY}.pkl"
+        assert self.KEY in cache and len(cache) == 1
+        loaded = cache.get(self.KEY)
+        assert loaded is not None
+        assert loaded.digest() == sim_result.digest()
+        assert cache.counters.stores == 1 and cache.counters.hits == 1
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path, sim_result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(self.KEY, sim_result)
+        path.write_bytes(b"not a pickle")
+        assert cache.get(self.KEY) is None
+        assert cache.counters.misses == 1
+
+    def test_renamed_entry_cannot_alias(self, tmp_path, sim_result):
+        # An entry copied under a different key must not be served: the
+        # embedded key is checked on load.
+        cache = ResultCache(tmp_path)
+        src = cache.put(self.KEY, sim_result)
+        other = "cd" + "0" * 62
+        dst = cache.path_for(other)
+        dst.parent.mkdir(parents=True, exist_ok=True)
+        dst.write_bytes(src.read_bytes())
+        assert cache.get(other) is None
+
+    def test_non_result_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(self.KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as fh:
+            pickle.dump({"key": self.KEY, "result": "wrong type"}, fh)
+        assert cache.get(self.KEY) is None
+
+
+class TestInvalidation:
+    def test_config_change_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=cache)
+        runner.run_point(small_point(8))
+        other = runner.run_point(small_point(32))
+        assert not other.cached
+        assert runner.simulated == 2
+
+    def test_code_change_misses(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        runner = SweepRunner(jobs=1, cache=cache)
+        first = runner.run_point(small_point())
+        monkeypatch.setattr(keys_mod, "code_version_tag", lambda: "e" * 64)
+        second = SweepRunner(jobs=1, cache=cache).run_point(small_point())
+        assert not second.cached
+        assert second.key != first.key

@@ -1,0 +1,168 @@
+"""SweepRunner: serial/parallel bit-identity, seeding, failure handling.
+
+The scales here are tiny (a venus point is under a second) so the whole
+module stays interactive even though it spins up real process pools.
+"""
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.runner import (
+    AppWorkloadSpec,
+    SweepPointSpec,
+    SweepRunner,
+    resolve_jobs,
+)
+from repro.sim.config import CacheConfig, SimConfig
+from repro.util.errors import SweepError
+from repro.util.units import MB
+
+SCALE = 0.05
+
+
+def two_venus_points():
+    workload = AppWorkloadSpec(app="venus", scale=SCALE, n_copies=2)
+    return [
+        SweepPointSpec(
+            workload=workload,
+            config=SimConfig(cache=CacheConfig(size_bytes=mb * MB)),
+            label=f"venus {mb}MB",
+        )
+        for mb in (8, 32)
+    ]
+
+
+class TestJobsResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_cpu_count_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) >= 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="jobs"):
+            resolve_jobs(0)
+
+    def test_effective_jobs_capped_by_points(self):
+        assert SweepRunner(jobs=8).effective_jobs(2) == 2
+        assert SweepRunner(jobs=2).effective_jobs(10) == 2
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_bit_identical(self):
+        points = two_venus_points()
+        serial = SweepRunner(jobs=1).run(points)
+        pooled = SweepRunner(jobs=2).run(points)
+        for s, p in zip(serial, pooled):
+            assert s.key == p.key
+            assert s.sim_seed == p.sim_seed
+            assert s.result.digest() == p.result.digest()
+
+    def test_order_independent(self):
+        points = two_venus_points()
+        forward = SweepRunner(jobs=1).run(points)
+        backward = SweepRunner(jobs=1).run(list(reversed(points)))
+        by_key = {r.key: r.result.digest() for r in backward}
+        for r in forward:
+            assert by_key[r.key] == r.result.digest()
+
+    def test_all_points_share_stream(self):
+        # Sweeps are paired comparisons: every point sees the same
+        # disk-latency draws (common random numbers), so differences
+        # across the grid come from the configs, not the stream.
+        points = two_venus_points()
+        runner = SweepRunner()
+        seeds = {runner.sim_seed(p) for p in points}
+        assert seeds == {points[0].config.seed}
+
+    def test_matches_direct_simulate(self):
+        # The default runner must reproduce a plain simulate() call
+        # bit-exactly -- sweeps change how points execute, never what
+        # they compute.
+        from repro.sim.system import simulate
+
+        point = two_venus_points()[0]
+        via_runner = SweepRunner(jobs=1).run_point(point).result
+        direct = simulate(point.workload.materialize(), point.config)
+        assert via_runner.digest() == direct.digest()
+
+    def test_sweep_seed_changes_results(self):
+        point = two_venus_points()[0]
+        a = SweepRunner(jobs=1, seed=1).run_point(point)
+        b = SweepRunner(jobs=1, seed=2).run_point(point)
+        assert a.key != b.key
+        assert a.sim_seed != b.sim_seed
+
+    def test_label_not_in_key(self):
+        a, _ = two_venus_points()
+        relabeled = SweepPointSpec(
+            workload=a.workload, config=a.config, label="something else"
+        )
+        assert a.key(0) == relabeled.key(0)
+
+
+class TestFailurePropagation:
+    def test_serial_failure_raises_sweep_error(self):
+        point = SweepPointSpec(
+            workload=AppWorkloadSpec(app="doom", scale=SCALE),
+            config=SimConfig(),
+            label="doom point",
+        )
+        with pytest.raises(SweepError, match="doom point"):
+            SweepRunner(jobs=1).run([point])
+
+    def test_pool_failure_raises_not_hangs(self):
+        points = two_venus_points() + [
+            SweepPointSpec(
+                workload=AppWorkloadSpec(app="doom", scale=SCALE),
+                config=SimConfig(),
+                label="doom point",
+            )
+        ]
+        with pytest.raises(SweepError, match="doom point"):
+            SweepRunner(jobs=2).run(points)
+
+    def test_cause_is_chained(self):
+        point = SweepPointSpec(
+            workload=AppWorkloadSpec(app="doom", scale=SCALE), config=SimConfig()
+        )
+        with pytest.raises(SweepError) as excinfo:
+            SweepRunner(jobs=1).run_point(point)
+        assert excinfo.value.__cause__ is not None
+
+
+class TestCachedRuns:
+    def test_run_point_round_trip(self, tmp_path):
+        point = two_venus_points()[0]
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        first = runner.run_point(point)
+        assert not first.cached
+        assert runner.simulated == 1 and runner.cache_hits == 0
+        second = runner.run_point(point)
+        assert second.cached
+        assert runner.simulated == 1 and runner.cache_hits == 1
+        assert first.result.digest() == second.result.digest()
+
+    def test_cache_shared_across_runners(self, tmp_path):
+        points = two_venus_points()
+        cache = ResultCache(tmp_path)
+        baseline = SweepRunner(jobs=1, cache=cache).run(points)
+        rerun = SweepRunner(jobs=2, cache=ResultCache(tmp_path)).run(points)
+        assert all(r.cached for r in rerun)
+        for a, b in zip(baseline, rerun):
+            assert a.result.digest() == b.result.digest()
+
+    def test_partial_hits_only_simulate_misses(self, tmp_path):
+        points = two_venus_points()
+        cache = ResultCache(tmp_path)
+        SweepRunner(jobs=1, cache=cache).run(points[:1])
+        runner = SweepRunner(jobs=1, cache=cache)
+        results = runner.run(points)
+        assert [r.cached for r in results] == [True, False]
+        assert runner.simulated == 1 and runner.cache_hits == 1
