@@ -13,7 +13,14 @@ Usage (``python -m repro <command>``):
   [--cached]`` -- replay trace files through the buffering simulator;
 * ``sweep [--cache-mb LIST] [--block-kb LIST] [--read-ahead on,off]
   [--write-behind on,off] [--jobs N] ...`` -- run a configuration grid
-  through the parallel sweep runner with on-disk result memoization.
+  through the parallel sweep runner with on-disk result memoization;
+* ``profile EXPID [--metrics-out FILE] [--events-out FILE]`` -- run one
+  experiment with the observability registry enabled and render the
+  per-subsystem metrics report (cache hit rates, per-device busy time,
+  scheduler activity, engine event counts).
+
+``simulate`` and ``run`` also accept ``--metrics-out FILE`` to dump the
+same metrics as JSONL without the full profile report.
 """
 
 from __future__ import annotations
@@ -42,6 +49,13 @@ from repro.exec.runner import (
     TraceFileSpec,
     resolve_jobs,
 )
+from repro.obs import (
+    JsonlEventSink,
+    MetricsRegistry,
+    metrics_to_jsonl,
+    render_report,
+    use_registry,
+)
 from repro.sim.config import CacheConfig, SimConfig, ssd_cache
 from repro.trace.io import read_trace_array, write_trace_array
 from repro.util.errors import SweepError
@@ -58,11 +72,55 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     study = Study(scale=args.scale, jobs=args.jobs if args.jobs else 1)
+    metrics_out = getattr(args, "metrics_out", None)
+    registry = MetricsRegistry(enabled=metrics_out is not None)
     try:
-        print(run_experiment(args.experiment, study))
+        with use_registry(registry):
+            print(run_experiment(args.experiment, study))
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    if metrics_out:
+        n = metrics_to_jsonl(registry, metrics_out)
+        print(f"wrote {n} metrics to {metrics_out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one experiment under an enabled registry; render the metrics.
+
+    Runs in-process (``jobs=1``) on purpose: pool workers are separate
+    processes whose registries cannot flow back, and profiling wants the
+    complete picture of one serial execution.
+    """
+    sink = (
+        JsonlEventSink(args.events_out, buffer_events=args.event_buffer)
+        if args.events_out
+        else None
+    )
+    registry = MetricsRegistry(event_sink=sink)
+    study = Study(scale=args.scale, jobs=1)
+    try:
+        with use_registry(registry):
+            report = run_experiment(args.experiment, study)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    finally:
+        if sink is not None:
+            sink.close()
+    if not args.metrics_only:
+        print(report)
+        print()
+    print(render_report(registry, title=f"== metrics: {args.experiment} =="))
+    if args.metrics_out:
+        n = metrics_to_jsonl(registry, args.metrics_out)
+        print(f"wrote {n} metrics to {args.metrics_out}")
+    if sink is not None:
+        print(
+            f"wrote {sink.events_emitted} events to {args.events_out} "
+            f"({sink.flushes} batched flushes)"
+        )
     return 0
 
 
@@ -146,8 +204,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         jobs=args.jobs if args.jobs else 1,
         cache=ResultCache() if args.cached else None,
     )
+    registry = MetricsRegistry(enabled=args.metrics_out is not None)
     try:
-        point_result = runner.run_point(point)
+        with use_registry(registry):
+            point_result = runner.run_point(point)
     except SweepError as exc:
         print(str(exc.__cause__ or exc), file=sys.stderr)
         return 2
@@ -155,6 +215,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.cached:
         source = "result cache" if point_result.cached else "fresh simulation"
         print(f"[{source}, key {point_result.key[:16]}]")
+    if args.metrics_out:
+        n = metrics_to_jsonl(registry, args.metrics_out)
+        print(f"wrote {n} metrics to {args.metrics_out}")
     return 0
 
 
@@ -233,6 +296,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for sweep-shaped experiments (default: serial)",
     )
+    p_run.add_argument(
+        "--metrics-out", default=None,
+        help="enable the observability registry and dump metrics as JSONL",
+    )
+
+    p_prof = sub.add_parser(
+        "profile",
+        help="run one experiment with metrics enabled and report them",
+    )
+    p_prof.add_argument("experiment", help="experiment id (see `experiments`)")
+    p_prof.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale in (0,1]; default: per-app presets",
+    )
+    p_prof.add_argument(
+        "--metrics-out", default=None,
+        help="also dump every instrument as JSONL to this file",
+    )
+    p_prof.add_argument(
+        "--events-out", default=None,
+        help="stream structured events (spans, simulations) as JSONL",
+    )
+    p_prof.add_argument(
+        "--event-buffer", type=int, default=512,
+        help="event sink buffer size (events per batched flush)",
+    )
+    p_prof.add_argument(
+        "--metrics-only", action="store_true",
+        help="suppress the experiment report, print only the metrics",
+    )
 
     p_gen = sub.add_parser("generate", help="write a synthetic trace file")
     p_gen.add_argument("app", help="application model name")
@@ -265,6 +358,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--cached", action="store_true",
         help="memoize the result in the on-disk result cache "
         "($REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+    p_sim.add_argument(
+        "--metrics-out", default=None,
+        help="enable the observability registry and dump metrics as JSONL",
     )
 
     p_sweep = sub.add_parser(
@@ -328,6 +425,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "experiments": _cmd_experiments,
     "run": _cmd_run,
+    "profile": _cmd_profile,
     "generate": _cmd_generate,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,

@@ -19,10 +19,26 @@ from __future__ import annotations
 import os
 import pickle
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.obs.registry import get_registry
 from repro.sim.metrics import SimulationResult
+
+#: Everything that can legitimately go wrong while decoding an entry:
+#: filesystem errors plus the full range of unpickling failures (a
+#: truncated file raises EOFError, a renamed class AttributeError/
+#: ImportError, garbage bytes UnpicklingError or ValueError...).
+_READ_ERRORS = (
+    OSError, ValueError, KeyError, EOFError, AttributeError,
+    ImportError, IndexError, pickle.UnpicklingError,
+)
+
+#: What a failed *store* can raise: filesystem errors and serialization
+#: errors (a local/lambda object raises AttributeError from pickle).
+#: Anything else (a bug) must propagate.
+_WRITE_ERRORS = (OSError, pickle.PicklingError, TypeError, AttributeError)
 
 
 def default_cache_dir() -> Path:
@@ -42,6 +58,11 @@ class CacheCounters:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: entries that existed on disk but could not be decoded (counted as
+    #: misses too -- a corrupt entry costs a re-run, never a wrong result)
+    corrupt: int = 0
+    #: stores that failed (filesystem or serialization error)
+    store_errors: int = 0
 
 
 @dataclass
@@ -62,29 +83,50 @@ class ResultCache:
 
         Unreadable or mismatched entries count as misses: a stale or
         corrupted file must never poison a sweep, only cost a re-run.
+        Unlike a plain absent entry, a *corrupt* one is surfaced -- a
+        counter and a warning -- so silent cache rot is visible.
         """
         path = self.path_for(key)
         try:
-            with path.open("rb") as fh:
+            fh = path.open("rb")
+        except FileNotFoundError:
+            self.counters.misses += 1
+            return None
+        try:
+            with fh:
                 entry = pickle.load(fh)
             if entry.get("key") != key:
                 raise ValueError("key mismatch")
             result = entry["result"]
             if not isinstance(result, SimulationResult):
                 raise ValueError("not a SimulationResult")
-        except (OSError, ValueError, KeyError, EOFError, AttributeError,
-                ImportError, IndexError, pickle.UnpicklingError):
+        except _READ_ERRORS as exc:
             self.counters.misses += 1
+            self.counters.corrupt += 1
+            get_registry().counter("exec.cache.corrupt_entries").inc()
+            warnings.warn(
+                f"result cache entry {path} is unreadable "
+                f"({type(exc).__name__}: {exc}); treating as a miss",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
         self.counters.hits += 1
         return result
 
-    def put(self, key: str, result: SimulationResult) -> Path:
-        """Store ``result`` under ``key`` atomically; returns the path."""
+    def put(self, key: str, result: SimulationResult) -> Path | None:
+        """Store ``result`` under ``key`` atomically; returns the path.
+
+        A failed store (filesystem full/read-only, unpicklable result)
+        degrades to a warning plus a counter and returns None -- the
+        sweep already has its result; losing the memo must not lose the
+        run.  Genuinely unexpected exceptions still propagate.
+        """
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        tmp: str | None = None
         try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(
                     {"key": key, "result": result},
@@ -92,11 +134,22 @@ class ResultCache:
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
             os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
+        except BaseException as exc:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+            if isinstance(exc, _WRITE_ERRORS):
+                self.counters.store_errors += 1
+                get_registry().counter("exec.cache.store_errors").inc()
+                warnings.warn(
+                    f"result cache store failed for key {key[:16]}... at "
+                    f"{path} ({type(exc).__name__}: {exc})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return None
             raise
         self.counters.stores += 1
         return path

@@ -42,6 +42,7 @@ from typing import Sequence, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.keys import point_key
+from repro.obs.registry import get_registry
 from repro.sim.config import SimConfig
 from repro.sim.metrics import SimulationResult
 from repro.sim.procmodel import relabel_copies
@@ -233,6 +234,7 @@ class SweepRunner:
 
     def run(self, points: Sequence[SweepPointSpec]) -> list[PointResult]:
         """Run all points (cache, then pool) and return them in order."""
+        reg = get_registry()
         points = list(points)
         keys = [p.key(self.seed) for p in points]
         seeds = [self.sim_seed(p) for p in points]
@@ -247,6 +249,7 @@ class SweepRunner:
                 results[i] = hit
                 cached[i] = True
                 self.cache_hits += 1
+                reg.counter("exec.runner.cache_hits").inc()
             else:
                 todo.append(i)
 
@@ -255,14 +258,29 @@ class SweepRunner:
             if n_jobs == 1:
                 for i in todo:
                     t0 = time.perf_counter()
-                    results[i] = self._guarded(points[i], seeds[i])
+                    with reg.span(
+                        "exec.runner.point_s",
+                        label=points[i].label or keys[i][:12],
+                    ):
+                        results[i] = self._guarded(points[i], seeds[i])
                     elapsed[i] = time.perf_counter() - t0
             else:
-                self._run_pool(points, seeds, todo, n_jobs, results, elapsed)
+                # Workers are separate processes: their in-process
+                # metrics do not flow back; only per-point wall time and
+                # the counters below are recorded here.
+                with reg.span("exec.runner.pool_s", label=f"jobs={n_jobs}"):
+                    self._run_pool(points, seeds, todo, n_jobs, results, elapsed)
             for i in todo:
                 if self.cache is not None:
                     self.cache.put(keys[i], results[i])
                 self.simulated += 1
+                reg.counter("exec.runner.points_simulated").inc()
+                reg.emit(
+                    "sweep_point",
+                    label=points[i].label or keys[i][:12],
+                    cached=False,
+                    elapsed_s=elapsed[i],
+                )
 
         return [
             PointResult(

@@ -1,0 +1,90 @@
+"""Render a metrics registry as a text report or a JSONL dump.
+
+The text report groups instruments by their dotted-name prefix
+(``sim.cache``, ``sim.disk``, ...), one table per group, so
+``python -m repro profile fig8`` reads like the paper's per-subsystem
+accounting rather than one flat wall of counters.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.registry import MetricsRegistry
+from repro.util.tables import TextTable
+
+
+def _group(name: str) -> str:
+    """Group key for a dotted instrument name (first two components)."""
+    parts = name.split(".")
+    return ".".join(parts[:2]) if len(parts) > 2 else (parts[0] if parts else "")
+
+
+def render_report(registry: MetricsRegistry, *, title: str = "metrics") -> str:
+    """One aligned table per instrument group, histograms summarized."""
+    snap = registry.snapshot()
+    if not snap:
+        return f"{title}: no metrics recorded (registry empty or disabled)"
+    groups: dict[str, list[tuple[str, object]]] = {}
+    for name, value in snap.items():
+        groups.setdefault(_group(name), []).append((name, value))
+
+    sections = [title]
+    for group in sorted(groups):
+        table = TextTable(["metric", "value"], title=group)
+        for name, value in groups[group]:
+            if isinstance(value, dict):
+                if "count" in value:  # histogram
+                    rendered = (
+                        f"n={value['count']} mean={value['mean']:.4g} "
+                        f"min={value['min']:.4g} max={value['max']:.4g}"
+                    )
+                else:  # gauge
+                    rendered = f"{value['value']:.6g} (peak {value['peak']:.6g})"
+            elif isinstance(value, float):
+                rendered = f"{value:.6g}"
+            else:
+                rendered = f"{value:,}"
+            table.add_row([name, rendered])
+        sections.append(table.render())
+    return "\n\n".join(sections)
+
+
+def metrics_to_jsonl(registry: MetricsRegistry, path: str | Path) -> int:
+    """Dump every instrument as one JSON object per line; returns count.
+
+    Counters: ``{"metric": name, "type": "counter", "value": v}``.
+    Gauges add ``peak``; histograms add count/total/mean/min/max and the
+    populated power-of-two buckets.
+    """
+    lines = []
+    for name, value in registry.counters().items():
+        lines.append({"metric": name, "type": "counter", "value": value})
+    snap = registry.snapshot()
+    for name, value in snap.items():
+        if not isinstance(value, dict):
+            continue
+        if "count" in value:
+            hist = registry.histograms()[name]
+            lines.append(
+                {
+                    "metric": name,
+                    "type": "histogram",
+                    "buckets": hist.nonzero_buckets(),
+                    **value,
+                }
+            )
+        else:
+            lines.append(
+                {
+                    "metric": name,
+                    "type": "gauge",
+                    "value": value["value"],
+                    "peak": value["peak"],
+                }
+            )
+    with Path(path).open("w", encoding="utf-8") as fh:
+        for line in lines:
+            fh.write(json.dumps(line, sort_keys=True) + "\n")
+    return len(lines)

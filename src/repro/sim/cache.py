@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable
 
+from repro.obs.registry import get_registry
 from repro.sim.config import CacheConfig
 from repro.sim.devices import DiskModel
 from repro.sim.events import Engine
@@ -108,11 +109,16 @@ class BufferCache:
         metrics: Metrics,
         *,
         file_sizes: dict[int, int] | None = None,
+        obs=None,
     ):
         self.config = config
         self.engine = engine
         self.disk = disk
         self.metrics = metrics
+        reg = obs if obs is not None else get_registry()
+        self._c_evictions = reg.counter("sim.cache.evictions")
+        self._c_parks = reg.counter("sim.cache.frame_wait_parks")
+        self._g_wb_queue = reg.gauge("sim.cache.writebehind_queue_depth")
         self._blocks: dict[tuple[int, int], Block] = {}
         self._clean_lru: OrderedDict[tuple[int, int], Block] = OrderedDict()
         self._frame_waiters: deque[Callable[[], bool]] = deque()
@@ -223,6 +229,7 @@ class BufferCache:
             # The device streams straight from the writer's memory; the
             # writer continues once the transfer is handed off.
             self.outstanding_flushes += 1
+            self._g_wb_queue.set_max(self.outstanding_flushes)
 
             def finished() -> None:
                 self.outstanding_flushes -= 1
@@ -314,6 +321,8 @@ class BufferCache:
             else:
                 victims = []
 
+        if victims:
+            self._c_evictions.inc(len(victims))
         for victim in victims:
             self._drop(victim)
         blocks = []
@@ -335,6 +344,7 @@ class BufferCache:
     def park_for_frames(self, retry: Callable[[], bool]) -> None:
         """Queue a retry closure to run when frames may be available."""
         self.metrics.cache.frame_stalls += 1
+        self._c_parks.inc()
         self._frame_waiters.append(retry)
 
     def _kick_frame_waiters(self) -> None:
@@ -392,6 +402,7 @@ class BufferCache:
         for block in blocks:
             self.make_unclean(block, _FLUSHING)
         self.outstanding_flushes += 1
+        self._g_wb_queue.set_max(self.outstanding_flushes)
         service = self.disk.service_time(file_id, offset, length)
         t0 = self.engine.now
         self.metrics.record_disk_transfer(
@@ -430,6 +441,7 @@ class BufferCache:
         handle = _DelayedFlush(file_id, offset, length, blocks)
         self._delayed_flushes.setdefault(file_id, []).append(handle)
         self.outstanding_flushes += 1  # keeps drain accounting honest
+        self._g_wb_queue.set_max(self.outstanding_flushes)
 
         def fire() -> None:
             self.outstanding_flushes -= 1

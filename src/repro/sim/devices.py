@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.registry import get_registry
 from repro.sim.config import DiskConfig
 from repro.util.rng import derive_rng
 
@@ -31,13 +32,20 @@ from repro.util.rng import derive_rng
 class DiskModel:
     """Per-file position-tracking service-time calculator."""
 
-    def __init__(self, config: DiskConfig, *, seed: int = 0):
+    def __init__(self, config: DiskConfig, *, seed: int = 0, obs=None):
         self.config = config
         self._rng = derive_rng(seed, "disk")
         self._position: dict[int, int] = {}
         self.requests = 0
         self.sequential_requests = 0
         self.busy_seconds = 0.0  # sum of service times (device-seconds)
+        #: device-seconds per position key (spindle, or file with n_disks=0);
+        #: only tracked while an enabled registry is active, so the default
+        #: hot path stays unchanged.
+        self.busy_by_device: dict[int, float] = {}
+        reg = obs if obs is not None else get_registry()
+        self._per_device = reg.enabled
+        self._h_seek = reg.histogram("sim.disk.seek_distance_bytes")
 
     def _position_key(self, file_id: int) -> int:
         """Which head position a file's accesses move.
@@ -69,12 +77,17 @@ class DiskModel:
                 distance = cfg.seek_span_bytes  # first touch: full seek
             else:
                 distance = abs(offset - last_end)
+            self._h_seek.observe(distance)
             frac = min(1.0, distance / cfg.seek_span_bytes)
             seek = cfg.min_seek_s + (cfg.max_seek_s - cfg.min_seek_s) * frac
             rotation = float(self._rng.uniform(0.0, cfg.rotation_period_s))
             service = cfg.base_overhead_s + seek + rotation + transfer
         self._position[file_id] = offset + length
         self.busy_seconds += service
+        if self._per_device:
+            self.busy_by_device[file_id] = (
+                self.busy_by_device.get(file_id, 0.0) + service
+            )
         return service
 
     @property

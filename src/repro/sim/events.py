@@ -4,6 +4,24 @@ A minimal calendar: callbacks scheduled at absolute times, executed in
 nondecreasing time order with FIFO tie-breaking (a monotonically
 increasing sequence number).  Everything in the simulator -- quantum
 expiry, disk completion, flusher progress -- is one of these events.
+
+Clock contract
+--------------
+``run(until=t)`` always leaves ``now == t`` (unless an event callback
+raised), even when the calendar drained early or the next event lies
+beyond ``t``.  Callers that interleave ``run(until=...)`` with
+``schedule(delay, ...)`` therefore compute delays from a fresh clock; an
+earlier version left ``now`` stuck at the last executed event, silently
+shifting every subsequently scheduled event backwards.
+
+Event times are floats.  Chains of ``schedule(self.now + delay)``
+accumulate floating-point error relative to the trace's 10 microsecond
+integer tick base -- after millions of events the accumulated time can
+drift past an exact ``until`` boundary and drop the event that should
+land on it.  Passing ``tick_s`` snaps every scheduled time to the
+nearest multiple of the tick, which resets the error at every event
+instead of letting it accumulate (grid multiples are fixed points of the
+snap, so times never move backwards).
 """
 
 from __future__ import annotations
@@ -11,26 +29,37 @@ from __future__ import annotations
 import heapq
 from typing import Callable
 
+from repro.obs.registry import get_registry
 from repro.util.errors import SimulationError
 
 
 class Engine:
     """Event calendar and simulated clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, tick_s: float | None = None, obs=None) -> None:
+        if tick_s is not None and tick_s <= 0:
+            raise SimulationError(f"tick_s must be positive, got {tick_s}")
         self.now: float = 0.0
+        self.tick_s = tick_s
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = 0
         self._events_run = 0
+        reg = obs if obs is not None else get_registry()
+        self._c_events = reg.counter("sim.engine.events_run")
+        self._c_advanced = reg.counter("sim.engine.time_advanced_s")
+        self._g_heap = reg.gauge("sim.engine.heap_depth")
 
     def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` at absolute time ``when`` (>= now)."""
+        if self.tick_s is not None:
+            when = round(when / self.tick_s) * self.tick_s
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule event at {when} before now={self.now}"
             )
         heapq.heappush(self._heap, (when, self._seq, fn))
         self._seq += 1
+        self._g_heap.set_max(len(self._heap))
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` seconds of simulated time."""
@@ -50,19 +79,29 @@ class Engine:
         """Drain the calendar.
 
         Stops when empty, after ``max_events`` (a runaway guard), or when
-        the next event lies beyond ``until``.
+        the next event lies beyond ``until``.  On a normal return with
+        ``until`` given, the clock is advanced to ``until`` even if no
+        event landed there (see the module docstring's clock contract).
         """
-        while self._heap:
-            if max_events is not None and self._events_run >= max_events:
-                raise SimulationError(
-                    f"event budget exhausted after {self._events_run} events"
-                )
-            when, _, fn = self._heap[0]
-            if until is not None and when > until:
-                return
-            heapq.heappop(self._heap)
-            if when < self.now:
-                raise SimulationError("event queue went backwards")
-            self.now = when
-            self._events_run += 1
-            fn()
+        t0 = self.now
+        e0 = self._events_run
+        try:
+            while self._heap:
+                if max_events is not None and self._events_run >= max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {self._events_run} events"
+                    )
+                when, _, fn = self._heap[0]
+                if until is not None and when > until:
+                    break
+                heapq.heappop(self._heap)
+                if when < self.now:
+                    raise SimulationError("event queue went backwards")
+                self.now = when
+                self._events_run += 1
+                fn()
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._c_events.inc(self._events_run - e0)
+            self._c_advanced.add(self.now - t0)

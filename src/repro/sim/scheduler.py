@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Protocol
 
+from repro.obs.registry import get_registry
 from repro.sim.config import SchedulerConfig
 from repro.sim.events import Engine
 from repro.sim.metrics import Metrics
@@ -56,6 +57,7 @@ class RoundRobinScheduler:
         metrics: Metrics,
         *,
         n_cpus: int = 1,
+        obs=None,
     ):
         if n_cpus < 1:
             raise SimulationError("need at least one CPU")
@@ -63,6 +65,12 @@ class RoundRobinScheduler:
         self.config = config
         self.metrics = metrics
         self.n_cpus = n_cpus
+        self._obs = obs if obs is not None else get_registry()
+        self._c_dispatches = self._obs.counter("sim.sched.dispatches")
+        self._c_expiries = self._obs.counter("sim.sched.quantum_expiries")
+        self._c_switches = self._obs.counter("sim.sched.context_switches")
+        self._c_unblocks = self._obs.counter("sim.sched.io_unblocks")
+        self._g_ready = self._obs.gauge("sim.sched.ready_depth")
         self._ready: deque[Runnable] = deque()
         self._running: dict[int, Runnable] = {}  # cpu index -> process
         self._free_cpus: list[int] = list(range(n_cpus))
@@ -84,6 +92,7 @@ class RoundRobinScheduler:
                 f"process {proc.process_id} was not blocked"
             )
         self._blocked.discard(proc.process_id)
+        self._c_unblocks.inc()
         self.metrics.interrupt_seconds += self.config.interrupt_service_s
         self.metrics.record_busy_point(
             self.engine.now, self.config.interrupt_service_s
@@ -93,11 +102,13 @@ class RoundRobinScheduler:
 
     # -- dispatch loop ---------------------------------------------------
     def _maybe_dispatch(self) -> None:
+        self._g_ready.set_max(len(self._ready))
         while self._free_cpus and self._ready:
             cpu = self._free_cpus.pop()
             proc = self._ready.popleft()
             self._running[cpu] = proc
             self.dispatches += 1
+            self._c_dispatches.inc()
             switch = (
                 self.config.switch_overhead_s
                 if self._last_on_cpu[cpu] is not proc
@@ -105,6 +116,7 @@ class RoundRobinScheduler:
             )
             self._last_on_cpu[cpu] = proc
             if switch:
+                self._c_switches.inc()
                 self.metrics.switch_seconds += switch
                 self.metrics.record_busy_point(self.engine.now, switch)
             self.engine.schedule(switch, lambda p=proc, c=cpu: self._run_slice(p, c))
@@ -128,6 +140,7 @@ class RoundRobinScheduler:
         if proc.compute_remaining() > 0:
             # Quantum expired mid-compute: rotate to the queue tail.
             self.preemptions += 1
+            self._c_expiries.inc()
             self._release(cpu)
             self._ready.append(proc)
             self._maybe_dispatch()

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.obs.registry import get_registry
 from repro.sim.cache import BufferCache
 from repro.sim.config import SimConfig
 from repro.sim.devices import DiskModel
@@ -23,13 +24,20 @@ from repro.util.timeseries import RateSeries
 class SimulatedSystem:
     """One runnable simulation instance."""
 
-    def __init__(self, traces: Sequence[TraceArray], config: SimConfig | None = None):
+    def __init__(
+        self,
+        traces: Sequence[TraceArray],
+        config: SimConfig | None = None,
+        *,
+        obs=None,
+    ):
         self.config = config if config is not None else SimConfig()
         if not traces:
             raise SimulationError("need at least one trace")
-        self.engine = Engine()
+        self.obs = obs if obs is not None else get_registry()
+        self.engine = Engine(obs=self.obs)
         self.metrics = Metrics(traffic_bin_s=self.config.traffic_bin_s)
-        self.disk = DiskModel(self.config.disk, seed=self.config.seed)
+        self.disk = DiskModel(self.config.disk, seed=self.config.seed, obs=self.obs)
         # The file system knows each file's size (its inode); the
         # prefetcher uses it to stop at end-of-file.  Derive sizes from
         # the traces' furthest accessed offsets.
@@ -45,13 +53,14 @@ class SimulatedSystem:
                     file_sizes[key] = size
         self.cache = BufferCache(
             self.config.cache, self.engine, self.disk, self.metrics,
-            file_sizes=file_sizes,
+            file_sizes=file_sizes, obs=self.obs,
         )
         self.scheduler = RoundRobinScheduler(
             self.engine,
             self.config.scheduler,
             self.metrics,
             n_cpus=self.config.scheduler.n_cpus,
+            obs=self.obs,
         )
         self.processes: list[TraceProcess] = []
         seen_pids: set[int] = set()
@@ -91,6 +100,7 @@ class SimulatedSystem:
             for p in self.metrics.processes.values()
             if p.finish_time is not None
         ]
+        self._publish_obs()
         return SimulationResult(
             wall_seconds=self.engine.now,
             completion_seconds=max(finish_times) if finish_times else self.engine.now,
@@ -110,11 +120,62 @@ class SimulatedSystem:
         )
 
 
+    def _publish_obs(self) -> None:
+        """Mirror end-of-run accounting into the observability registry.
+
+        Counters accumulate across runs sharing one registry (a sweep
+        profiled as a whole); derived fractions are recomputed from the
+        accumulated counters so they stay aggregate-correct.
+        """
+        reg = self.obs
+        if not reg.enabled:
+            return
+        c = self.metrics.cache
+        for name in (
+            "read_requests", "read_bytes", "write_requests", "write_bytes",
+            "block_hits", "block_misses", "block_inflight_hits",
+            "readahead_hits", "prefetch_issued", "prefetch_blocks",
+            "writes_absorbed", "writes_cancelled", "frame_stalls",
+            "bypass_requests",
+        ):
+            reg.counter(f"sim.cache.{name}").add(getattr(c, name))
+        hits = reg.counter("sim.cache.block_hits").value
+        inflight = reg.counter("sim.cache.block_inflight_hits").value
+        misses = reg.counter("sim.cache.block_misses").value
+        total = hits + inflight + misses
+        reg.gauge("sim.cache.hit_fraction").set(
+            (hits + inflight) / total if total else 0.0
+        )
+        reg.counter("sim.disk.requests").add(self.disk.requests)
+        reg.counter("sim.disk.sequential_requests").add(
+            self.disk.sequential_requests
+        )
+        reg.counter("sim.disk.busy_s").add(self.disk.busy_seconds)
+        for device, busy in sorted(self.disk.busy_by_device.items()):
+            reg.counter(f"sim.disk.device.{device}.busy_s").add(busy)
+        reg.counter("sim.sched.busy_s").add(self.metrics.busy_seconds)
+        reg.counter("sim.sched.switch_overhead_s").add(self.metrics.switch_seconds)
+        reg.counter("sim.sched.interrupt_s").add(self.metrics.interrupt_seconds)
+        for pid in sorted(self.metrics.processes):
+            p = self.metrics.processes[pid]
+            reg.counter(f"sim.proc.{pid}.cpu_s").add(p.cpu_seconds)
+            reg.counter(f"sim.proc.{pid}.blocked_s").add(p.blocked_seconds)
+            reg.counter(f"sim.proc.{pid}.ios").add(p.n_ios)
+        reg.emit(
+            "simulation",
+            wall_seconds=self.engine.now,
+            events_run=self.engine.events_run,
+            hit_fraction=c.hit_fraction,
+            disk_busy_s=self.disk.busy_seconds,
+        )
+
+
 def simulate(
     traces: Sequence[TraceArray],
     config: SimConfig | None = None,
     *,
     max_events: int | None = None,
+    obs=None,
 ) -> SimulationResult:
     """One-shot: build and run a :class:`SimulatedSystem`."""
-    return SimulatedSystem(traces, config).run(max_events=max_events)
+    return SimulatedSystem(traces, config, obs=obs).run(max_events=max_events)

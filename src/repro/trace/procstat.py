@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.obs.registry import get_registry
 from repro.trace.packets import IOEvent, TracePacket
 
 
@@ -36,11 +37,17 @@ class ProcstatCollector:
         *,
         max_events_per_packet: int = 512,
         flush_interval: int = 100_000,
+        obs=None,
     ):
         if max_events_per_packet < 1:
             raise ValueError("max_events_per_packet must be >= 1")
         if flush_interval < 1:
             raise ValueError("flush_interval must be >= 1")
+        reg = obs if obs is not None else get_registry()
+        self._c_events = reg.counter("trace.procstat.events")
+        self._c_packets = reg.counter("trace.procstat.packets")
+        self._c_flushes = reg.counter("trace.procstat.flushes")
+        self._g_open = reg.gauge("trace.procstat.open_packets")
         self._sink = sink
         self.max_events_per_packet = max_events_per_packet
         self.flush_interval = flush_interval
@@ -69,6 +76,8 @@ class ProcstatCollector:
         packet.events.append(event)
         self.total_events += 1
         self._events_since_flush += 1
+        self._c_events.inc()
+        self._g_open.set_max(len(self._open))
 
         if len(packet.events) >= self.max_events_per_packet:
             self._emit(key)
@@ -81,6 +90,7 @@ class ProcstatCollector:
             self._emit(key)
         self._events_since_flush = 0
         self._epoch += 1
+        self._c_flushes.inc()
 
     def close(self) -> None:
         """Flush remaining packets; further submits are rejected."""
@@ -95,6 +105,7 @@ class ProcstatCollector:
         packet.sequence = self._sequence
         self._sequence += 1
         self.packets_emitted += 1
+        self._c_packets.inc()
         self._sink(packet)
 
     def __enter__(self) -> "ProcstatCollector":

@@ -24,6 +24,53 @@ class TestRunCommand:
         assert "unknown experiment" in capsys.readouterr().err
 
 
+class TestProfileCommand:
+    def test_profile_reports_subsystem_metrics(self, capsys):
+        assert main(["profile", "fig6", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        # the experiment report itself, then the per-subsystem tables
+        assert "== metrics: fig6 ==" in out
+        assert "sim.cache.hit_fraction" in out
+        assert "sim.disk.device." in out  # per-device busy time
+        assert "sim.sched.context_switches" in out
+        assert "sim.engine.events_run" in out
+
+    def test_profile_metrics_only_and_dumps(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        events = tmp_path / "events.jsonl"
+        assert main(
+            [
+                "profile", "fig6", "--scale", "0.05", "--metrics-only",
+                "--metrics-out", str(metrics),
+                "--events-out", str(events),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "idle" not in out.split("== metrics")[0]  # report suppressed
+        assert metrics.exists() and events.exists()
+        assert "batched flush" in out
+
+        import json
+
+        rows = [json.loads(line) for line in metrics.read_text().splitlines()]
+        names = {r["metric"] for r in rows}
+        assert "sim.engine.events_run" in names
+        evs = [json.loads(line) for line in events.read_text().splitlines()]
+        assert any(e["kind"] == "simulation" for e in evs)
+
+    def test_profile_unknown_experiment(self, capsys):
+        assert main(["profile", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_with_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        assert main(
+            ["run", "fig6", "--scale", "0.05", "--metrics-out", str(metrics)]
+        ) == 0
+        assert metrics.exists()
+        assert "wrote" in capsys.readouterr().out
+
+
 class TestGenerateAnalyze:
     def test_generate_then_analyze(self, tmp_path, capsys):
         trace_path = tmp_path / "ccm.trace"
@@ -96,6 +143,16 @@ class TestSimulateCommand:
             raise AssertionError("no hit line")
 
         assert hits(shared) > hits(private)
+
+    def test_simulate_metrics_out(self, trace_file, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        capsys.readouterr()
+        assert main(
+            ["simulate", str(trace_file), "--metrics-out", str(metrics)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "utilization" in out and "wrote" in out
+        assert metrics.exists()
 
     def test_simulate_ssd_options(self, trace_file, capsys):
         capsys.readouterr()

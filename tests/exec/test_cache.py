@@ -7,6 +7,7 @@ re-run, never a wrong result.
 """
 
 import pickle
+import warnings
 
 import pytest
 
@@ -142,7 +143,8 @@ class TestResultCache:
         cache = ResultCache(tmp_path)
         path = cache.put(self.KEY, sim_result)
         path.write_bytes(b"not a pickle")
-        assert cache.get(self.KEY) is None
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert cache.get(self.KEY) is None
         assert cache.counters.misses == 1
 
     def test_renamed_entry_cannot_alias(self, tmp_path, sim_result):
@@ -154,7 +156,8 @@ class TestResultCache:
         dst = cache.path_for(other)
         dst.parent.mkdir(parents=True, exist_ok=True)
         dst.write_bytes(src.read_bytes())
-        assert cache.get(other) is None
+        with pytest.warns(RuntimeWarning, match="key mismatch"):
+            assert cache.get(other) is None
 
     def test_non_result_payload_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -162,7 +165,73 @@ class TestResultCache:
         path.parent.mkdir(parents=True, exist_ok=True)
         with path.open("wb") as fh:
             pickle.dump({"key": self.KEY, "result": "wrong type"}, fh)
-        assert cache.get(self.KEY) is None
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(self.KEY) is None
+
+
+class TestErrorSurfacing:
+    """Regression tests: decode/store failures used to be swallowed by a
+    bare ``except Exception: pass`` -- invisible cache rot.  Now they are
+    narrowed, counted, and warned about."""
+
+    KEY = "ab" + "0" * 62
+
+    def test_corrupt_entry_counted_and_warned(self, tmp_path, sim_result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(self.KEY, sim_result)
+        path.write_bytes(b"garbage")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert cache.get(self.KEY) is None
+        assert cache.counters.corrupt == 1
+        assert cache.counters.misses == 1
+
+    def test_truncated_pickle_is_corrupt_not_crash(self, tmp_path, sim_result):
+        cache = ResultCache(tmp_path)
+        path = cache.put(self.KEY, sim_result)
+        path.write_bytes(path.read_bytes()[:20])  # EOFError territory
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(self.KEY) is None
+        assert cache.counters.corrupt == 1
+
+    def test_plain_absence_is_a_clean_miss(self, tmp_path):
+        # A missing entry is the common case, not corruption: no warning,
+        # no corrupt count.
+        cache = ResultCache(tmp_path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.get(self.KEY) is None
+        assert cache.counters.corrupt == 0
+        assert cache.counters.misses == 1
+
+    def test_failed_store_warns_and_returns_none(self, tmp_path, sim_result):
+        # The fan-out directory is blocked by a plain file: mkdir raises
+        # FileExistsError (an OSError).  The sweep must keep its result;
+        # only the memo is lost.
+        cache = ResultCache(tmp_path)
+        (tmp_path / self.KEY[:2]).write_text("in the way")
+        with pytest.warns(RuntimeWarning, match="store failed"):
+            assert cache.put(self.KEY, sim_result) is None
+        assert cache.counters.store_errors == 1
+        assert cache.counters.stores == 0
+
+    def test_unpicklable_result_degrades_to_warning(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="store failed"):
+            assert cache.put(self.KEY, lambda: None) is None
+        assert cache.counters.store_errors == 1
+        # no temp litter left behind
+        assert list(tmp_path.rglob("*.tmp")) == []
+
+    def test_corruption_surfaces_in_obs_registry(self, tmp_path, sim_result):
+        from repro.obs import MetricsRegistry, use_registry
+
+        cache = ResultCache(tmp_path)
+        path = cache.put(self.KEY, sim_result)
+        path.write_bytes(b"garbage")
+        reg = MetricsRegistry()
+        with use_registry(reg), pytest.warns(RuntimeWarning):
+            cache.get(self.KEY)
+        assert reg.snapshot()["exec.cache.corrupt_entries"] == 1
 
 
 class TestInvalidation:
