@@ -10,7 +10,9 @@ Usage (``python -m repro <command>``):
   breakdown of any trace file;
 * ``simulate FILE [FILE...] [--cache-mb M] [--block-kb K] [--ssd]
   [--no-read-ahead] [--no-write-behind] [--cpus N] [--jobs N]
-  [--cached]`` -- replay trace files through the buffering simulator;
+  [--cached] [--faults SPEC | --fault-plan FILE]`` -- replay trace
+  files through the buffering simulator, optionally under a seeded
+  fault-injection plan with retry/backoff recovery;
 * ``sweep [--cache-mb LIST] [--block-kb LIST] [--read-ahead on,off]
   [--write-behind on,off] [--jobs N] ...`` -- run a configuration grid
   through the parallel sweep runner with on-disk result memoization;
@@ -57,6 +59,7 @@ from repro.obs import (
     use_registry,
 )
 from repro.sim.config import CacheConfig, SimConfig, ssd_cache
+from repro.sim.faults import FaultPlan
 from repro.trace.io import read_trace_array, write_trace_array
 from repro.util.errors import SweepError
 from repro.util.rng import DEFAULT_SEED
@@ -193,6 +196,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     else:
         cache = CacheConfig(size_bytes=int(args.cache_mb * MB), **cache_kwargs)
     config = SimConfig(cache=cache).with_scheduler(n_cpus=args.cpus)
+    if args.faults and args.fault_plan:
+        print("use either --faults or --fault-plan, not both", file=sys.stderr)
+        return 2
+    try:
+        if args.fault_plan:
+            config = FaultPlan.load(args.fault_plan).apply(config)
+        elif args.faults:
+            config = FaultPlan.from_spec(args.faults).apply(config)
+    except (OSError, ValueError) as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
     point = SweepPointSpec(
         workload=TraceFileSpec(
             paths=tuple(args.traces), share_files=args.share_files
@@ -362,6 +376,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument(
         "--metrics-out", default=None,
         help="enable the observability registry and dump metrics as JSONL",
+    )
+    p_sim.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inline fault plan, e.g. error=0.05,slow=0.1,max_retries=4 "
+        "(keys: error, slow, slow_factor, crash_at, ssd_fail_at, seed, "
+        "max_retries, backoff, backoff_factor, backoff_cap, jitter, "
+        "timeout, max_reflushes, reflush_delay)",
+    )
+    p_sim.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="JSON fault plan ({'faults': {...}, 'recovery': {...}}); "
+        "see examples/fault_plan.json",
     )
 
     p_sweep = sub.add_parser(

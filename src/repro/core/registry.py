@@ -216,6 +216,42 @@ def _buffering_sweep(study: Study) -> str:
     )
 
 
+def _fault_sweep(study: Study) -> str:
+    """Utilization decay under device fault rates -- the new experiment
+    family the fault layer unlocks (not in the paper, which assumed
+    perfectly reliable devices).
+    """
+    from repro.sim.experiments import fault_rate_sweep
+
+    points = fault_rate_sweep(scale=study.app_scale("venus"), jobs=study.jobs)
+    table = TextTable(
+        ["err rate", "utilization", "idle(s)", "retries", "failed", "lost(MB)", "goodput(MB)"],
+        title="Fault sweep: 2 x venus, 32 MB SSD cache, transient error rate",
+    )
+    for p in points:
+        table.add_row(
+            [
+                f"{p.error_rate:g}",
+                f"{p.utilization:.1%}",
+                round(p.idle_seconds, 2),
+                p.retries,
+                p.failed_ios,
+                round(p.lost_mb, 2),
+                round(p.goodput_mb, 1),
+            ]
+        )
+    base, worst = points[0], points[-1]
+    return "\n".join(
+        [
+            table.render(),
+            f"utilization {base.utilization:.1%} fault-free -> "
+            f"{worst.utilization:.1%} at error rate {worst.error_rate:g} "
+            f"({worst.retries} backoff retries; {worst.recovered} requests "
+            f"recovered after retrying)",
+        ]
+    )
+
+
 def _mss_staging(study: Study) -> str:
     from repro.mss.staging import stage_workload
 
@@ -260,6 +296,12 @@ EXPERIMENTS: dict[str, Experiment] = {
         Experiment("n-plus-one", "The n+1 multiprogramming rule", "2.2", _n_plus_one),
         Experiment("batch-tradeoff", "Memory-sized batch queues", "2.2", _batch_tradeoff),
         Experiment("mss-staging", "Staging data sets from nearline tape", "2.2", _mss_staging),
+        Experiment(
+            "fault-sweep",
+            "Utilization vs device fault rate under retry/backoff recovery",
+            "6 (extension)",
+            _fault_sweep,
+        ),
     ]
 }
 

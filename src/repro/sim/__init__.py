@@ -10,14 +10,20 @@ processes over a buffer cache and a simple no-queueing disk:
 * :mod:`repro.sim.cache` -- buffer cache with read-ahead, write-behind,
   LRU frames, optional per-process caps, and SSD hit penalties;
 * :mod:`repro.sim.devices` -- the seek-closeness disk model;
+* :mod:`repro.sim.faults` -- seeded fault injection (transient errors,
+  latency spikes, crash-at-T, SSD failure);
+* :mod:`repro.sim.recovery` -- retry with exponential backoff + jitter,
+  timeouts, dirty-block re-flush, degraded mode;
 * :mod:`repro.sim.experiments` -- Figures 6-8 and the section 6 claims
-  as canned runs.
+  as canned runs, plus the fault-rate sweep.
 """
 
 from repro.sim.cache import BlockState, BufferCache
 from repro.sim.config import (
     CacheConfig,
     DiskConfig,
+    FaultConfig,
+    RecoveryConfig,
     SchedulerConfig,
     SimConfig,
     ssd_cache,
@@ -30,11 +36,13 @@ from repro.sim.experiments import (
     PAPER_TWO_VENUS_NO_IDLE_SECONDS,
     AppSSDRun,
     BufferingRun,
+    FaultSweepPoint,
     NPlusOnePoint,
     PagingComparison,
     SweepPoint,
     buffer_cap_ablation,
     cache_size_sweep,
+    fault_rate_sweep,
     n_plus_one_rule,
     no_idle_execution_seconds,
     paging_vs_staging,
@@ -44,8 +52,16 @@ from repro.sim.experiments import (
     two_copies,
     writebehind_ablation,
 )
-from repro.sim.metrics import CacheStats, Metrics, ProcessStats, SimulationResult
+from repro.sim.faults import FaultDecision, FaultInjector, FaultKind, FaultPlan
+from repro.sim.metrics import (
+    CacheStats,
+    FaultStats,
+    Metrics,
+    ProcessStats,
+    SimulationResult,
+)
 from repro.sim.procmodel import TraceProcess, relabel_copies, split_trace_by_process
+from repro.sim.recovery import RecoveringDevice, backoff_delay
 from repro.sim.scheduler import RoundRobinScheduler
 from repro.sim.system import SimulatedSystem, simulate
 
@@ -54,6 +70,8 @@ __all__ = [
     "BufferCache",
     "CacheConfig",
     "DiskConfig",
+    "FaultConfig",
+    "RecoveryConfig",
     "SchedulerConfig",
     "SimConfig",
     "ssd_cache",
@@ -64,11 +82,13 @@ __all__ = [
     "PAPER_TWO_VENUS_NO_IDLE_SECONDS",
     "AppSSDRun",
     "BufferingRun",
+    "FaultSweepPoint",
     "NPlusOnePoint",
     "PagingComparison",
     "SweepPoint",
     "buffer_cap_ablation",
     "cache_size_sweep",
+    "fault_rate_sweep",
     "n_plus_one_rule",
     "no_idle_execution_seconds",
     "paging_vs_staging",
@@ -77,7 +97,12 @@ __all__ = [
     "ssd_utilization_per_app",
     "two_copies",
     "writebehind_ablation",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
     "CacheStats",
+    "FaultStats",
     "Metrics",
     "ProcessStats",
     "SimulationResult",
@@ -85,6 +110,8 @@ __all__ = [
     "relabel_copies",
     "split_trace_by_process",
     "RoundRobinScheduler",
+    "RecoveringDevice",
+    "backoff_delay",
     "SimulatedSystem",
     "simulate",
 ]

@@ -41,10 +41,12 @@ from enum import Enum
 from typing import Callable
 
 from repro.obs.registry import get_registry
-from repro.sim.config import CacheConfig
+from repro.sim.config import CacheConfig, FaultConfig, RecoveryConfig
 from repro.sim.devices import DiskModel
 from repro.sim.events import Engine
+from repro.sim.faults import FaultInjector
 from repro.sim.metrics import Metrics
+from repro.sim.recovery import RecoveringDevice
 from repro.util.errors import SimulationError
 
 
@@ -109,12 +111,28 @@ class BufferCache:
         metrics: Metrics,
         *,
         file_sizes: dict[int, int] | None = None,
+        device: RecoveringDevice | None = None,
         obs=None,
     ):
         self.config = config
         self.engine = engine
         self.disk = disk
         self.metrics = metrics
+        if device is None:
+            # No fault plan: a passthrough device, bit-identical to the
+            # old inline disk calls.
+            device = RecoveringDevice(
+                disk,
+                engine,
+                FaultInjector(FaultConfig()),
+                RecoveryConfig(),
+                metrics,
+                obs=obs,
+            )
+        self.device = device
+        self.recovery = device.config
+        #: SSD failed: bypass the cache, fall through to the disk
+        self.degraded = False
         reg = obs if obs is not None else get_registry()
         self._c_evictions = reg.counter("sim.cache.evictions")
         self._c_parks = reg.counter("sim.cache.frame_wait_parks")
@@ -155,6 +173,10 @@ class BufferCache:
         self.metrics.record_demand(self.engine.now, length)
         self._note_file_size(file_id, offset + length)
 
+        if self.degraded:
+            self.metrics.faults.degraded_requests += 1
+            self._bypass_read(file_id, offset, length, on_complete)
+            return
         if self._oversized(offset, length, owner):
             self._bypass_read(file_id, offset, length, on_complete)
             return
@@ -180,6 +202,10 @@ class BufferCache:
         self.metrics.record_demand(self.engine.now, length)
         self._note_file_size(file_id, offset + length)
 
+        if self.degraded:
+            self.metrics.faults.degraded_requests += 1
+            self._bypass_write(file_id, offset, length, on_complete)
+            return
         if self._oversized(offset, length, owner):
             self._bypass_write(file_id, offset, length, on_complete)
             return
@@ -207,39 +233,50 @@ class BufferCache:
         self, file_id: int, offset: int, length: int, on_complete
     ) -> None:
         self.metrics.cache.bypass_requests += 1
-        service = self.disk.service_time(file_id, offset, length)
-        t0 = self.engine.now
-        self.metrics.record_disk_transfer(
-            is_write=False, t_start=t0, t_end=t0 + service, nbytes=length
+        # Degraded requests never touched the (failed) SSD, so no
+        # copy-through penalty.
+        penalty = 0.0 if self.degraded else self.config.hit_penalty_s(length)
+        # A failed read still unblocks the requester: the I/O is
+        # *reported* failed (device counters) rather than lost.
+        self.device.submit(
+            file_id,
+            offset,
+            length,
+            is_write=False,
+            on_done=lambda ok: on_complete(penalty),
         )
-        penalty = self.config.hit_penalty_s(length)
-        self.engine.schedule(service, lambda: on_complete(penalty))
 
     def _bypass_write(
         self, file_id: int, offset: int, length: int, on_complete
     ) -> None:
         self.metrics.cache.bypass_requests += 1
-        service = self.disk.service_time(file_id, offset, length)
-        t0 = self.engine.now
-        self.metrics.record_disk_transfer(
-            is_write=True, t_start=t0, t_end=t0 + service, nbytes=length
-        )
-        penalty = self.config.hit_penalty_s(length)
+        penalty = 0.0 if self.degraded else self.config.hit_penalty_s(length)
         if self.config.write_behind:
             # The device streams straight from the writer's memory; the
             # writer continues once the transfer is handed off.
             self.outstanding_flushes += 1
             self._g_wb_queue.set_max(self.outstanding_flushes)
 
-            def finished() -> None:
+            def finished(ok: bool) -> None:
+                if not ok:
+                    # No cache frames to re-flush from: the data is gone.
+                    self.metrics.faults.lost_bytes += length
                 self.outstanding_flushes -= 1
                 if self.outstanding_flushes == 0 and self.on_drained is not None:
                     self.on_drained()
 
-            self.engine.schedule(service, finished)
+            self.device.submit(
+                file_id, offset, length, is_write=True, on_done=finished
+            )
             on_complete(penalty)
         else:
-            self.engine.schedule(service, lambda: on_complete(penalty))
+            self.device.submit(
+                file_id,
+                offset,
+                length,
+                is_write=True,
+                on_done=lambda ok: on_complete(penalty),
+            )
 
     # ------------------------------------------------------------------
     # Geometry / bookkeeping
@@ -365,20 +402,24 @@ class BufferCache:
         blocks: list[Block],
         on_done: Callable[[], None] | None = None,
     ) -> None:
-        """One disk read covering ``blocks``; marks them VALID on arrival."""
-        service = self.disk.service_time(file_id, offset, length)
-        t0 = self.engine.now
-        self.metrics.record_disk_transfer(
-            is_write=False, t_start=t0, t_end=t0 + service, nbytes=length
-        )
+        """One disk read covering ``blocks``; marks them VALID on arrival.
 
-        def arrive() -> None:
+        When the device reports failure (retries exhausted), the READING
+        frames are abandoned -- dropped from the cache so a later demand
+        read retries from disk -- and any waiters are released anyway:
+        the requester's I/O is reported failed, not lost.
+        """
+
+        def arrive(ok: bool) -> None:
             for block in blocks:
                 # A write may have overwritten the block while the read
                 # was in flight (state FLUSHING); only READING blocks
-                # settle to VALID.
+                # settle to VALID (or, on failure, get abandoned).
                 if block.state is _READING:
-                    self.make_valid(block)
+                    if ok:
+                        self.make_valid(block)
+                    else:
+                        self._drop(block)
                 if block.waiters:
                     waiters, block.waiters = block.waiters, None
                     for w in waiters:
@@ -388,7 +429,7 @@ class BufferCache:
             if self._frame_waiters:
                 self._kick_frame_waiters()
 
-        self.engine.schedule(service, arrive)
+        self.device.submit(file_id, offset, length, is_write=False, on_done=arrive)
 
     def issue_disk_write(
         self,
@@ -397,22 +438,63 @@ class BufferCache:
         length: int,
         blocks: list[Block],
         on_done: Callable[[], None] | None = None,
+        *,
+        reflush: int = 0,
     ) -> None:
-        """One disk write covering ``blocks``; they become clean on finish."""
+        """One disk write covering ``blocks``; they become clean on finish.
+
+        When the device reports failure, blocks still dirty-in-flight are
+        re-queued (back to DIRTY, re-flushed after ``reflush_delay_s``) up
+        to ``max_reflushes`` times; past that the data is dropped and
+        counted as lost.  The ``outstanding_flushes`` latch is held across
+        the whole retry saga so the drain callback cannot fire while a
+        re-flush is pending.
+        """
         for block in blocks:
             self.make_unclean(block, _FLUSHING)
         self.outstanding_flushes += 1
         self._g_wb_queue.set_max(self.outstanding_flushes)
-        service = self.disk.service_time(file_id, offset, length)
-        t0 = self.engine.now
-        self.metrics.record_disk_transfer(
-            is_write=True, t_start=t0, t_end=t0 + service, nbytes=length
-        )
 
-        def finished() -> None:
-            for block in blocks:
-                if block.state is _FLUSHING and block.key in self._blocks:
-                    self.make_valid(block)
+        def finished(ok: bool) -> None:
+            if not ok:
+                live = [
+                    b
+                    for b in blocks
+                    if b.state is _FLUSHING and self._blocks.get(b.key) is b
+                ]
+                if live and reflush < self.recovery.max_reflushes:
+                    self.metrics.faults.reflushes += 1
+                    for b in live:
+                        b.state = _DIRTY
+
+                    def redo() -> None:
+                        self.outstanding_flushes -= 1
+                        still = [
+                            b
+                            for b in live
+                            if b.state is _DIRTY and self._blocks.get(b.key) is b
+                        ]
+                        self._issue_flush_runs(
+                            file_id, still, on_done, reflush=reflush + 1
+                        )
+
+                    # Latch stays held until redo() runs (decrement and
+                    # re-issue are back to back, so drain cannot slip in).
+                    self.engine.schedule(self.recovery.reflush_delay_s, redo)
+                    return
+                if live:
+                    # Retries and re-flushes exhausted: write-behind data
+                    # is dropped -- this is the data-at-risk turning into
+                    # data lost.
+                    self.metrics.faults.lost_bytes += (
+                        len(live) * self.config.block_bytes
+                    )
+                    for b in live:
+                        self._drop(b)
+            else:
+                for block in blocks:
+                    if block.state is _FLUSHING and block.key in self._blocks:
+                        self.make_valid(block)
             self.outstanding_flushes -= 1
             if on_done is not None:
                 on_done()
@@ -421,7 +503,45 @@ class BufferCache:
             if self.outstanding_flushes == 0 and self.on_drained is not None:
                 self.on_drained()
 
-        self.engine.schedule(service, finished)
+        self.device.submit(file_id, offset, length, is_write=True, on_done=finished)
+
+    def _issue_flush_runs(
+        self,
+        file_id: int,
+        blocks: list[Block],
+        on_done: Callable[[], None] | None,
+        *,
+        reflush: int = 0,
+    ) -> None:
+        """Flush a (possibly sparse) set of dirty blocks as contiguous runs.
+
+        Used when only part of an extent still needs writing -- a re-flush
+        after failure, or a delayed flush some of whose blocks were
+        already flushed by an overlapping extent.  ``on_done`` rides on
+        the last run; with no runs at all it fires synchronously along
+        with the drain check the skipped write would have performed.
+        """
+        if not blocks:
+            if on_done is not None:
+                on_done()
+            if self.outstanding_flushes == 0 and self.on_drained is not None:
+                self.on_drained()
+            return
+        bs = self.config.block_bytes
+        blocks = sorted(blocks, key=lambda b: b.key[1])
+        runs: list[list[Block]] = [[blocks[0]]]
+        for block in blocks[1:]:
+            if block.key[1] == runs[-1][-1].key[1] + 1:
+                runs[-1].append(block)
+            else:
+                runs.append([block])
+        for i, run in enumerate(runs):
+            run_off = run[0].key[1] * bs
+            run_len = len(run) * bs
+            done = on_done if i == len(runs) - 1 else None
+            self.issue_disk_write(
+                file_id, run_off, run_len, run, done, reflush=reflush
+            )
 
     # ------------------------------------------------------------------
     # Delayed writes (Sprite-style, section 2.1)
@@ -452,8 +572,24 @@ class BufferCache:
                 if self.outstanding_flushes == 0 and self.on_drained is not None:
                     self.on_drained()
                 return
-            live = [b for b in blocks if self._blocks.get(b.key) is b]
-            self.issue_disk_write(file_id, offset, length, live)
+            # Only blocks still DIRTY belong to this flush.  A block that
+            # was rewritten during the delay is owned by the *newer*
+            # delayed extent (state DIRTY but re-queued -- identity still
+            # holds, so it stays here and the newer flush finds it
+            # FLUSHING and skips it); one that was already flushed or
+            # evicted is FLUSHING/VALID/absent and writing it again would
+            # double-count the bytes in the write statistics.
+            live = [
+                b
+                for b in blocks
+                if b.state is _DIRTY and self._blocks.get(b.key) is b
+            ]
+            if len(live) == len(blocks):
+                # Whole extent intact: one contiguous write, exactly as
+                # originally queued.
+                self.issue_disk_write(file_id, offset, length, live)
+            else:
+                self._issue_flush_runs(file_id, live, None)
 
         self.engine.schedule(self.config.flush_delay_s, fire)
 
@@ -477,6 +613,46 @@ class BufferCache:
         if cancelled:
             self._kick_frame_waiters()
         return cancelled
+
+    # ------------------------------------------------------------------
+    # Faults: data at risk, degraded mode
+    # ------------------------------------------------------------------
+    def dirty_bytes(self) -> int:
+        """Write-behind bytes not yet safely on disk (data at risk).
+
+        DIRTY blocks are waiting for their flush; FLUSHING blocks are in
+        flight but unacknowledged.  A crash at this instant loses exactly
+        this many bytes.
+        """
+        n = sum(
+            1 for b in self._blocks.values() if b.state in (_DIRTY, _FLUSHING)
+        )
+        return n * self.config.block_bytes
+
+    def enter_degraded(self) -> None:
+        """The SSD died: dump its contents, route everything to disk.
+
+        Resident clean data is simply gone (re-readable from disk);
+        resident dirty data is lost with the device.  Blocks with disk
+        transfers in flight (READING/FLUSHING) settle normally -- those
+        transfers were already streaming.  Subsequent read/write requests
+        bypass the cache entirely.
+        """
+        if self.degraded:
+            return
+        self.degraded = True
+        self.metrics.faults.degraded_at_s = self.engine.now
+        lost = 0
+        for block in list(self._blocks.values()):
+            if block.state is _DIRTY:
+                lost += 1
+                self._drop(block)
+            elif block.state is _VALID:
+                self._drop(block)
+        self.metrics.faults.lost_bytes += lost * self.config.block_bytes
+        # Parked requests retry through their original (cache-mediated)
+        # closure; the pool just emptied, so let them finish that way.
+        self._kick_frame_waiters()
 
     # ------------------------------------------------------------------
     # Read-ahead

@@ -135,6 +135,129 @@ class CacheConfig:
         return cls(**data)
 
 
+@dataclass(frozen=True)
+class FaultConfig:
+    """Deterministic, seeded device-fault injection.
+
+    The paper's simulator assumes perfectly reliable devices; this layer
+    models the three failure modes a host-side buffering system actually
+    meets (transient I/O errors, slow-device latency spikes, and a crash
+    that loses whatever write-behind had not yet made durable).  All
+    rates default to zero, in which case the injector draws *no* random
+    numbers and the simulation is bit-identical to a build without the
+    fault layer.
+    """
+
+    #: probability a device request fails with a transient error
+    error_rate: float = 0.0
+    #: probability a device request suffers a latency spike
+    slow_rate: float = 0.0
+    #: service-time multiplier for a spiked request
+    slow_factor: float = 8.0
+    #: simulated crash instant: the run stops, and dirty (unflushed)
+    #: cache bytes are counted as lost -- the data-at-risk metric.
+    #: None = never crash.  A crash time past natural completion is a
+    #: no-op (the run drained first).
+    crash_at_s: float | None = None
+    #: instant the cache device (the SSD) fails: its dirty contents are
+    #: lost, residency is dropped, and every later request bypasses the
+    #: cache straight to disk (degraded mode).  None = never.
+    ssd_fail_at_s: float | None = None
+    #: fault-stream seed; None derives it from the simulation seed, so
+    #: repeated runs of one config replay the identical fault schedule
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.error_rate <= 1.0):
+            raise ValueError(f"error_rate must be in [0,1]: {self.error_rate}")
+        if not (0.0 <= self.slow_rate <= 1.0):
+            raise ValueError(f"slow_rate must be in [0,1]: {self.slow_rate}")
+        if self.error_rate + self.slow_rate > 1.0:
+            raise ValueError("error_rate + slow_rate must not exceed 1")
+        if self.slow_factor < 1.0:
+            raise ValueError(f"slow_factor must be >= 1: {self.slow_factor}")
+
+    @property
+    def injects(self) -> bool:
+        """True when per-request fault decisions are needed at all."""
+        return self.error_rate > 0.0 or self.slow_rate > 0.0
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault mechanism is configured."""
+        return (
+            self.injects
+            or self.crash_at_s is not None
+            or self.ssd_fail_at_s is not None
+        )
+
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict form (stable field order)."""
+        return _config_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultConfig":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Retry/backoff policy for transient device failures.
+
+    A failed (or timed-out) device request is retried up to
+    ``max_retries`` times with exponential backoff: retry *k* waits
+    ``min(backoff_cap_s, backoff_base_s * backoff_factor**k *
+    (1 + backoff_jitter * u))`` where ``u`` is a seeded uniform draw.
+    ``backoff_jitter`` is clamped to ``backoff_factor - 1`` so the delay
+    sequence stays monotone non-decreasing up to the cap (the property
+    the chaos suite pins).
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 2e-3
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 0.25
+    #: jitter fraction in [0, backoff_factor - 1]; 0 = deterministic
+    backoff_jitter: float = 0.5
+    #: per-request deadline: an attempt whose service time would exceed
+    #: this is abandoned at the deadline and counts as a failed attempt.
+    #: None = no timeout (the default, and the bit-identical fast path).
+    timeout_s: float | None = None
+    #: times a dirty extent is re-queued for flushing after its disk
+    #: write permanently failed (write-behind's last line of defence);
+    #: beyond this the dirty bytes are dropped and counted as lost
+    max_reflushes: int = 2
+    #: delay before a failed flush extent is re-queued
+    reflush_delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1: {self.backoff_factor}")
+        if not (0.0 <= self.backoff_jitter <= self.backoff_factor - 1.0):
+            raise ValueError(
+                "backoff_jitter must be in [0, backoff_factor - 1] to keep "
+                f"backoff monotone: {self.backoff_jitter}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive: {self.timeout_s}")
+        if self.max_reflushes < 0:
+            raise ValueError(f"max_reflushes must be >= 0: {self.max_reflushes}")
+        if self.reflush_delay_s < 0:
+            raise ValueError("reflush_delay_s must be >= 0")
+
+    def to_dict(self) -> dict:
+        """Deterministic plain-dict form (stable field order)."""
+        return _config_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecoveryConfig":
+        return cls(**data)
+
+
 #: SSD penalties from section 6.3: ~1 us/KB at 1 GB/s plus setup.
 SSD_HIT_SETUP_S = 50e-6
 SSD_HIT_PER_KB_S = 1e-6
@@ -182,6 +305,8 @@ class SimConfig:
     cache: CacheConfig = field(default_factory=CacheConfig)
     disk: DiskConfig = field(default_factory=DiskConfig)
     scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     seed: int = 0
     #: wall-clock bin width for the disk-traffic series (the figures)
     traffic_bin_s: float = 1.0
@@ -195,6 +320,12 @@ class SimConfig:
     def with_disk(self, **changes) -> "SimConfig":
         return replace(self, disk=replace(self.disk, **changes))
 
+    def with_faults(self, **changes) -> "SimConfig":
+        return replace(self, faults=replace(self.faults, **changes))
+
+    def with_recovery(self, **changes) -> "SimConfig":
+        return replace(self, recovery=replace(self.recovery, **changes))
+
     def with_seed(self, seed: int) -> "SimConfig":
         return replace(self, seed=seed)
 
@@ -205,9 +336,17 @@ class SimConfig:
     @classmethod
     def from_dict(cls, data: dict) -> "SimConfig":
         data = dict(data)
+        # Pre-fault-layer dicts lack the faults/recovery sections; they
+        # deserialize to the disabled defaults (the identical simulation).
+        faults = data.pop("faults", None)
+        recovery = data.pop("recovery", None)
         return cls(
             cache=CacheConfig.from_dict(data.pop("cache")),
             disk=DiskConfig.from_dict(data.pop("disk")),
             scheduler=SchedulerConfig.from_dict(data.pop("scheduler")),
+            faults=FaultConfig.from_dict(faults) if faults else FaultConfig(),
+            recovery=(
+                RecoveryConfig.from_dict(recovery) if recovery else RecoveryConfig()
+            ),
             **data,
         )

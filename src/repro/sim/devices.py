@@ -90,6 +90,20 @@ class DiskModel:
             )
         return service
 
+    def add_busy(self, file_id: int, seconds: float) -> None:
+        """Charge extra device-busy time (injected latency spikes).
+
+        Keeps ``busy_seconds`` honest when the fault layer stretches a
+        request beyond its modelled service time; does not move the head
+        or count a request.
+        """
+        if seconds <= 0:
+            return
+        self.busy_seconds += seconds
+        if self._per_device:
+            key = self._position_key(file_id)
+            self.busy_by_device[key] = self.busy_by_device.get(key, 0.0) + seconds
+
     @property
     def sequential_fraction(self) -> float:
         if self.requests == 0:

@@ -75,13 +75,23 @@ class Engine:
     def events_run(self) -> int:
         return self._events_run
 
-    def run(self, *, max_events: int | None = None, until: float | None = None) -> None:
+    def run(
+        self,
+        *,
+        max_events: int | None = None,
+        until: float | None = None,
+        advance_clock: bool = True,
+    ) -> None:
         """Drain the calendar.
 
         Stops when empty, after ``max_events`` (a runaway guard), or when
         the next event lies beyond ``until``.  On a normal return with
         ``until`` given, the clock is advanced to ``until`` even if no
         event landed there (see the module docstring's clock contract).
+        ``advance_clock=False`` suppresses that final jump: segmented
+        callers (the crash/degrade cuts in ``SimulatedSystem.run``) probe
+        whether the simulation drained *before* the cut without moving
+        ``now`` past the last real event.
         """
         t0 = self.now
         e0 = self._events_run
@@ -100,7 +110,7 @@ class Engine:
                 self.now = when
                 self._events_run += 1
                 fn()
-            if until is not None and self.now < until:
+            if until is not None and advance_clock and self.now < until:
                 self.now = until
         finally:
             self._c_events.inc(self._events_run - e0)

@@ -407,6 +407,86 @@ def buffer_cap_ablation(
 
 
 @dataclass(frozen=True)
+class FaultSweepPoint:
+    """One (error_rate, slow_rate) measurement under the fault layer."""
+
+    error_rate: float
+    slow_rate: float
+    utilization: float
+    idle_seconds: float
+    retries: int
+    recovered: int
+    failed_ios: int
+    lost_mb: float
+    goodput_mb: float
+
+
+def fault_rate_sweep(
+    *,
+    error_rates=(0.0, 0.01, 0.02, 0.05, 0.1),
+    slow_rate: float = 0.0,
+    slow_factor: float = 8.0,
+    cache_mb: float = 32.0,
+    block_kb: float = 4.0,
+    ssd: bool = True,
+    scale: float = 0.25,
+    seed: int = DEFAULT_SEED,
+    jobs: int | None = None,
+    result_cache: ResultCache | None = None,
+    runner: SweepRunner | None = None,
+) -> list[FaultSweepPoint]:
+    """Figure-8-style utilization versus device fault rate.
+
+    The same two-venus workload as the cache-size sweep, but the cache
+    is fixed and the *device error rate* sweeps instead: how fast does
+    the write-behind/read-ahead win decay when flushes start failing and
+    retrying?  All points share one workload seed (common random
+    numbers), so the curve isolates the fault effect.
+    """
+    points = []
+    for rate in error_rates:
+        spec = _two_venus_point(
+            cache_mb=cache_mb,
+            block_kb=block_kb,
+            read_ahead=True,
+            write_behind=True,
+            ssd=ssd,
+            scale=scale,
+            seed=seed,
+            max_blocks_per_process=None,
+        )
+        config = spec.config.with_faults(
+            error_rate=rate, slow_rate=slow_rate, slow_factor=slow_factor
+        )
+        points.append(
+            SweepPointSpec(
+                workload=spec.workload,
+                config=config,
+                label=f"{spec.label} err={rate:g} slow={slow_rate:g}",
+            )
+        )
+    r = _runner(runner, jobs, result_cache)
+    out = []
+    for rate, pr in zip(error_rates, r.run(points)):
+        res = pr.result
+        fs = res.faults
+        out.append(
+            FaultSweepPoint(
+                error_rate=rate,
+                slow_rate=slow_rate,
+                utilization=res.utilization,
+                idle_seconds=res.idle_seconds,
+                retries=fs.retries,
+                recovered=fs.recovered,
+                failed_ios=fs.failed_reads + fs.failed_writes,
+                lost_mb=fs.lost_bytes / MB,
+                goodput_mb=res.goodput_bytes / MB,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
 class PagingComparison:
     """Program-controlled staging vs demand-paging-sized requests.
 

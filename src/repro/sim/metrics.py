@@ -62,6 +62,55 @@ class CacheStats:
 
 
 @dataclass
+class FaultStats:
+    """Counts from the fault-injection and recovery layers.
+
+    All zeros in a fault-free run -- the digest only folds these in when
+    ``any_faults`` is true, so fault-free results hash identically to
+    pre-fault-layer builds.
+    """
+
+    #: injector verdicts
+    injected_errors: int = 0
+    injected_slowdowns: int = 0
+    #: recovery-layer outcomes
+    timeouts: int = 0
+    retries: int = 0
+    #: requests that succeeded after at least one retry
+    recovered: int = 0
+    #: most attempts any single request consumed (1 = first try)
+    max_attempts: int = 0
+    failed_reads: int = 0
+    failed_writes: int = 0
+    failed_read_bytes: int = 0
+    failed_write_bytes: int = 0
+    #: dirty extents re-queued after a failed write-behind flush
+    reflushes: int = 0
+    #: write-behind data dropped: flush retries exhausted, or dirty at crash
+    lost_bytes: int = 0
+    #: requests routed around a failed SSD straight to disk
+    degraded_requests: int = 0
+    crashed: bool = False
+    crash_time_s: float | None = None
+    degraded_at_s: float | None = None
+
+    @property
+    def any_faults(self) -> bool:
+        """Did anything at all deviate from the fault-free path?"""
+        return bool(
+            self.injected_errors
+            or self.injected_slowdowns
+            or self.timeouts
+            or self.retries
+            or self.reflushes
+            or self.lost_bytes
+            or self.degraded_requests
+            or self.crashed
+            or self.degraded_at_s is not None
+        )
+
+
+@dataclass
 class ProcessStats:
     """Per-process outcome."""
 
@@ -85,6 +134,7 @@ class Metrics:
     switch_seconds: float = 0.0
     interrupt_seconds: float = 0.0
     cache: CacheStats = field(default_factory=CacheStats)
+    faults: FaultStats = field(default_factory=FaultStats)
     processes: dict[int, ProcessStats] = field(default_factory=dict)
     disk_read_series: BinnedSeries = field(init=False)
     disk_write_series: BinnedSeries = field(init=False)
@@ -150,6 +200,7 @@ class SimulationResult:
     #: transfer) -- the load the I/O system carried
     disk_busy_seconds: float
     events_run: int
+    faults: FaultStats = field(default_factory=FaultStats)
 
     @property
     def idle_seconds(self) -> float:
@@ -207,6 +258,21 @@ class SimulationResult:
         times = np.arange(n) * r.bin_width
         return RateSeries(times, rates, r.bin_width)
 
+    @property
+    def goodput_bytes(self) -> int:
+        """Application bytes that actually made it: requested minus failed.
+
+        Under faults some reads are reported failed and some write-behind
+        data is dropped (flush retries exhausted, or dirty at a crash);
+        this is the delivered remainder -- the numerator of any
+        "utilization under faults" curve.
+        """
+        total = self.cache.read_bytes + self.cache.write_bytes
+        # failed_write_bytes is a device-level count; the application-level
+        # write loss is lost_bytes (what the cache actually dropped).
+        lost = self.faults.failed_read_bytes + self.faults.lost_bytes
+        return max(0, total - lost)
+
     def digest(self) -> str:
         """SHA-256 over every scalar and series in the result.
 
@@ -242,6 +308,20 @@ class SimulationResult:
             "bypass_requests",
         ):
             i(getattr(self.cache, name))
+        if self.faults.any_faults:
+            # Folded in only when something deviated, so fault-free runs
+            # keep the pre-fault-layer digest (golden tables stay valid).
+            for name in (
+                "injected_errors", "injected_slowdowns", "timeouts",
+                "retries", "recovered", "max_attempts",
+                "failed_reads", "failed_writes",
+                "failed_read_bytes", "failed_write_bytes",
+                "reflushes", "lost_bytes", "degraded_requests",
+            ):
+                i(getattr(self.faults, name))
+            i(1 if self.faults.crashed else 0)
+            f(-1.0 if self.faults.crash_time_s is None else self.faults.crash_time_s)
+            f(-1.0 if self.faults.degraded_at_s is None else self.faults.degraded_at_s)
         for pid in sorted(self.processes):
             p = self.processes[pid]
             i(pid)
@@ -269,6 +349,23 @@ class SimulationResult:
             f"write {self.disk_write_rate.total:.1f} MB "
             f"(sequential fraction {self.disk_sequential_fraction:.1%})",
         ]
+        if self.faults.any_faults:
+            fs = self.faults
+            lines.append(
+                f"faults: {fs.injected_errors} errors, "
+                f"{fs.injected_slowdowns} slowdowns, {fs.timeouts} timeouts; "
+                f"{fs.retries} retries ({fs.recovered} recovered, "
+                f"max {fs.max_attempts} attempts); "
+                f"lost {fs.lost_bytes / MB:.2f} MB, "
+                f"goodput {self.goodput_bytes / MB:.1f} MB"
+            )
+            if fs.crashed:
+                lines.append(f"CRASHED at {fs.crash_time_s:.2f} s")
+            if fs.degraded_at_s is not None:
+                lines.append(
+                    f"degraded mode (SSD bypassed) from {fs.degraded_at_s:.2f} s "
+                    f"({fs.degraded_requests} requests rerouted)"
+                )
         for pid in sorted(self.processes):
             p = self.processes[pid]
             finish = f"{p.finish_time:.2f}" if p.finish_time is not None else "DNF"

@@ -13,7 +13,9 @@ from repro.sim.cache import BufferCache
 from repro.sim.config import SimConfig
 from repro.sim.devices import DiskModel
 from repro.sim.events import Engine
+from repro.sim.faults import FaultInjector
 from repro.sim.metrics import Metrics, SimulationResult
+from repro.sim.recovery import RecoveringDevice
 from repro.sim.procmodel import TraceProcess
 from repro.sim.scheduler import RoundRobinScheduler
 from repro.trace.array import TraceArray
@@ -51,9 +53,18 @@ class SimulatedSystem:
                 key = int(fid)
                 if size > file_sizes.get(key, 0):
                     file_sizes[key] = size
+        self.injector = FaultInjector(self.config.faults, seed=self.config.seed)
+        self.device = RecoveringDevice(
+            self.disk,
+            self.engine,
+            self.injector,
+            self.config.recovery,
+            self.metrics,
+            obs=self.obs,
+        )
         self.cache = BufferCache(
             self.config.cache, self.engine, self.disk, self.metrics,
-            file_sizes=file_sizes, obs=self.obs,
+            file_sizes=file_sizes, device=self.device, obs=self.obs,
         )
         self.scheduler = RoundRobinScheduler(
             self.engine,
@@ -86,24 +97,61 @@ class SimulatedSystem:
             )
 
     def run(self, *, max_events: int | None = None) -> SimulationResult:
-        """Run to completion (all processes done, all flushes drained)."""
+        """Run to completion (all processes done, all flushes drained).
+
+        With timed faults configured the run is segmented at each cut
+        time: the engine runs up to the cut, the fault is applied (SSD
+        failure -> degraded mode; crash -> stop, dirty bytes lost), and
+        the run continues.  ``max_events`` is a cumulative budget, so
+        segmenting does not change the runaway guard.
+        """
         for proc in self.processes:
             self.scheduler.add(proc)
-        self.engine.run(max_events=max_events)
-        unfinished = [p.process_id for p in self.processes if not p.finished]
-        if unfinished:
-            raise SimulationError(
-                f"simulation drained with unfinished processes: {unfinished}"
-            )
+        faults = self.config.faults
+        cuts: list[tuple[float, str]] = []
+        if faults.ssd_fail_at_s is not None:
+            cuts.append((faults.ssd_fail_at_s, "degrade"))
+        if faults.crash_at_s is not None:
+            cuts.append((faults.crash_at_s, "crash"))
+        cuts.sort()
+        crashed = False
+        for t, kind in cuts:
+            # Probe without the final clock jump: if the simulation
+            # drained before the cut, the fault never happens and the
+            # clock must stay at the last real event.
+            self.engine.run(max_events=max_events, until=t, advance_clock=False)
+            if not self.engine.pending and all(p.finished for p in self.processes):
+                break
+            self.engine.run(max_events=max_events, until=t)  # now == t
+            if kind == "crash":
+                fs = self.metrics.faults
+                fs.crashed = True
+                fs.crash_time_s = self.engine.now
+                fs.lost_bytes += self.cache.dirty_bytes()
+                crashed = True
+                break
+            self.cache.enter_degraded()
+        if not crashed:
+            self.engine.run(max_events=max_events)
+            unfinished = [p.process_id for p in self.processes if not p.finished]
+            if unfinished:
+                raise SimulationError(
+                    f"simulation drained with unfinished processes: {unfinished}"
+                )
         finish_times = [
             p.finish_time
             for p in self.metrics.processes.values()
             if p.finish_time is not None
         ]
+        if crashed:
+            # The machine stopped at the crash; nothing completes after.
+            completion = self.engine.now
+        else:
+            completion = max(finish_times) if finish_times else self.engine.now
         self._publish_obs()
         return SimulationResult(
             wall_seconds=self.engine.now,
-            completion_seconds=max(finish_times) if finish_times else self.engine.now,
+            completion_seconds=completion,
             n_cpus=self.config.scheduler.n_cpus,
             busy_seconds=self.metrics.busy_seconds,
             switch_seconds=self.metrics.switch_seconds,
@@ -117,6 +165,7 @@ class SimulatedSystem:
             disk_sequential_fraction=self.disk.sequential_fraction,
             disk_busy_seconds=self.disk.busy_seconds,
             events_run=self.engine.events_run,
+            faults=self.metrics.faults,
         )
 
 
@@ -153,6 +202,18 @@ class SimulatedSystem:
         reg.counter("sim.disk.busy_s").add(self.disk.busy_seconds)
         for device, busy in sorted(self.disk.busy_by_device.items()):
             reg.counter(f"sim.disk.device.{device}.busy_s").add(busy)
+        fs = self.metrics.faults
+        for name in ("injected_errors", "injected_slowdowns", "degraded_requests"):
+            reg.counter(f"sim.faults.{name}").add(getattr(fs, name))
+        reg.counter("sim.faults.lost_bytes").add(fs.lost_bytes)
+        if fs.crashed:
+            reg.counter("sim.faults.crashes").inc()
+        for name in (
+            "timeouts", "retries", "recovered",
+            "failed_reads", "failed_writes", "reflushes",
+        ):
+            reg.counter(f"sim.recovery.{name}").add(getattr(fs, name))
+        reg.gauge("sim.recovery.max_attempts").set_max(fs.max_attempts)
         reg.counter("sim.sched.busy_s").add(self.metrics.busy_seconds)
         reg.counter("sim.sched.switch_overhead_s").add(self.metrics.switch_seconds)
         reg.counter("sim.sched.interrupt_s").add(self.metrics.interrupt_seconds)

@@ -56,6 +56,7 @@ class TestRegistry:
             "n-plus-one",
             "batch-tradeoff",
             "mss-staging",
+            "fault-sweep",
         }
         assert set(experiment_ids()) == expected
         for exp in EXPERIMENTS.values():

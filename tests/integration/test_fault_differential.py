@@ -1,0 +1,80 @@
+"""Differential guard: the recovery-wrapped device changes NOTHING when off.
+
+The fault layer rewired every disk access in the simulator -- bypass
+reads/writes, demand-miss reads, write-behind flushes, delayed flushes --
+through :class:`repro.sim.recovery.RecoveringDevice`.  These tests pin
+the happy path: for fault-free configurations the wrapped device must
+produce digests identical to a direct simulation, across every cache
+policy combination, and the golden Fig-8 curve must hold bit-for-bit
+(``test_golden_tables.py`` enforces the committed fixture; here we also
+sweep the policy space the fixtures do not cover).
+"""
+
+import pytest
+
+from repro.sim.config import CacheConfig, SimConfig, ssd_cache
+from repro.sim.faults import FaultPlan
+from repro.sim.system import simulate
+from repro.util.rng import DEFAULT_SEED
+from repro.util.units import MB
+from repro.workloads import generate_workload
+
+CONFIGS = {
+    "memory": SimConfig(cache=CacheConfig(size_bytes=16 * MB)),
+    "ssd": SimConfig(cache=ssd_cache(16 * MB)),
+    "no-readahead": SimConfig(
+        cache=CacheConfig(size_bytes=16 * MB, read_ahead=False)
+    ),
+    "write-through": SimConfig(
+        cache=CacheConfig(size_bytes=16 * MB, write_behind=False)
+    ),
+    "delayed-flush": SimConfig(
+        cache=CacheConfig(size_bytes=16 * MB, flush_delay_s=2.0)
+    ),
+    "tiny-cache-bypass": SimConfig(cache=CacheConfig(size_bytes=256 * 1024)),
+    "two-cpus": SimConfig(cache=CacheConfig(size_bytes=16 * MB)).with_scheduler(
+        n_cpus=2
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [generate_workload("venus", scale=0.05, seed=DEFAULT_SEED).trace]
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_default_fault_fields_do_not_change_digests(traces, name):
+    # A config that never mentions faults carries disabled FaultConfig /
+    # RecoveryConfig defaults; its digest must match what the same
+    # simulation produced before the fault layer existed.  The committed
+    # golden fixtures pin the absolute values; this cross-checks that an
+    # explicit zero-rate plan is indistinguishable from the defaults.
+    config = CONFIGS[name]
+    plain = simulate(traces, config)
+    planned = simulate(traces, FaultPlan().apply(config))
+    assert not plain.faults.any_faults
+    assert not planned.faults.any_faults
+    assert plain.digest() == planned.digest()
+
+
+def test_recovery_knobs_alone_do_not_perturb(traces):
+    # Tuning the recovery policy without any injection must be free: the
+    # retry machinery only engages on failure, and no failures happen.
+    config = CONFIGS["memory"]
+    tuned = config.with_recovery(
+        max_retries=7, backoff_base_s=0.5, backoff_cap_s=5.0, max_reflushes=9
+    )
+    assert simulate(traces, tuned).digest() == simulate(traces, config).digest()
+
+
+def test_timeout_config_is_not_free(traces):
+    # timeout_s forces the per-request path (every request must be
+    # policed), so it is the one recovery knob allowed to change
+    # scheduling -- but with a generous deadline the *results* must
+    # still match, because no request ever times out.
+    config = CONFIGS["memory"]
+    timed = config.with_recovery(timeout_s=1e9)
+    r = simulate(traces, timed)
+    assert r.faults.timeouts == 0
+    assert r.digest() == simulate(traces, config).digest()
