@@ -1,0 +1,356 @@
+"""Performance microbenchmarks: the ``repro bench`` harness.
+
+The simulator's value rests on replaying multi-million-record traces
+quickly, so this module pins a number on each layer of the hot path:
+
+* ``engine`` -- raw calendar throughput (events/s): self-rescheduling
+  callback chains through :class:`~repro.sim.events.Engine`, nothing
+  else.  This is the ceiling every other benchmark lives under.
+* ``cache`` -- buffer-cache request throughput (ops/s): a serial stream
+  of multi-block reads and writes over a working set larger than the
+  cache, exercising allocation, eviction, write-behind and read-ahead.
+* ``decode`` -- ASCII trace decode bandwidth (MB/s) through the batch
+  columnar path (:meth:`~repro.trace.decode.TraceDecoder.decode_array`).
+* ``fig8`` -- end-to-end wall-clock of the Figure 8 cache-size sweep,
+  the workload the paper's headline figure is built from.  The rows are
+  digested so a perf run that silently changes results is an error, not
+  a speedup.
+
+Every benchmark returns a :class:`BenchResult`; :func:`run_suite`
+assembles them into the ``BENCH_sim.json`` payload and
+:func:`compare_to_baseline` turns a committed baseline
+(``benchmarks/perf/baseline.json``) into a regression verdict.  Times
+come from ``time.perf_counter``; run-to-run noise on shared CI workers
+is why the regression gate is deliberately loose (25% by default) and
+non-gating.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.registry import MetricsRegistry
+from repro.sim.config import CacheConfig, SimConfig
+from repro.sim.devices import DiskModel
+from repro.sim.events import Engine
+from repro.sim.experiments import cache_size_sweep
+from repro.sim.faults import FaultInjector
+from repro.sim.metrics import Metrics
+from repro.sim.recovery import RecoveringDevice
+from repro.trace.decode import TraceDecoder
+from repro.trace.encode import TraceEncoder
+from repro.util.rng import DEFAULT_SEED
+from repro.util.units import KB, MB
+from repro.workloads.base import generate_workload
+
+#: Payload format version for ``BENCH_sim.json``.
+SCHEMA = "repro-bench/1"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's outcome.
+
+    ``higher_is_better`` tells the baseline comparison which direction
+    is a regression: throughputs regress downward, wall-clocks upward.
+    """
+
+    name: str
+    value: float
+    unit: str
+    wall_s: float
+    higher_is_better: bool
+    detail: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "wall_s": round(self.wall_s, 4),
+            "higher_is_better": self.higher_is_better,
+            "detail": self.detail,
+        }
+
+
+# -- individual benchmarks --------------------------------------------------
+
+def bench_engine(n_events: int = 200_000, *, chains: int = 4) -> BenchResult:
+    """Calendar throughput: ``chains`` self-rescheduling event chains."""
+    reg = MetricsRegistry(enabled=False)
+    engine = Engine(obs=reg)
+    remaining = [n_events]
+
+    def tick() -> None:
+        left = remaining[0] - 1
+        remaining[0] = left
+        # `chains` events are always in flight; stop refilling when the
+        # ones already scheduled will land exactly on n_events.
+        if left >= chains:
+            engine.schedule(1e-6, tick)
+
+    t0 = time.perf_counter()
+    for _ in range(chains):
+        engine.schedule(1e-6, tick)
+    engine.run()
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="engine",
+        value=engine.events_run / wall,
+        unit="events/s",
+        wall_s=wall,
+        higher_is_better=True,
+        detail={"events_run": engine.events_run, "chains": chains},
+    )
+
+
+def bench_cache(n_requests: int = 40_000) -> BenchResult:
+    """Buffer-cache request throughput over an eviction-heavy stream.
+
+    One synthetic client issues 16 KB requests serially (each submitted
+    from the previous one's completion callback, like a replayed
+    process), alternating half-KB-aligned passes of writes and reads
+    over a working set twice the cache -- so the stream exercises
+    allocation, clean-LRU eviction, write-behind flushing and the
+    sequential-read prefetcher rather than just the hit path.
+    """
+    reg = MetricsRegistry(enabled=False)
+    cfg = SimConfig(cache=CacheConfig(size_bytes=16 * MB, block_bytes=4 * KB))
+    engine = Engine(obs=reg)
+    metrics = Metrics()
+    disk = DiskModel(cfg.disk, seed=DEFAULT_SEED, obs=reg)
+    injector = FaultInjector(cfg.faults, seed=DEFAULT_SEED)
+    device = RecoveringDevice(
+        disk, engine, injector, cfg.recovery, metrics, obs=reg
+    )
+    from repro.sim.cache import BufferCache
+
+    length = 16 * KB
+    span = 32 * MB
+    cache = BufferCache(
+        cfg.cache, engine, disk, metrics,
+        file_sizes={1: span}, device=device, obs=reg,
+    )
+    cursor = [0]
+    pumping = [False]
+    fired_inline = [False]
+
+    def on_done(_penalty: float = 0.0) -> None:
+        if pumping[0]:
+            fired_inline[0] = True  # hit completed inside submit
+        else:
+            pump()  # miss completed from the calendar: keep going
+
+    def pump() -> None:
+        # Trampoline, not recursion: cached writes/hits complete inline,
+        # and a callback-chained issue loop would overflow the stack.
+        pumping[0] = True
+        while cursor[0] < n_requests:
+            i = cursor[0]
+            cursor[0] = i + 1
+            offset = (i * length) % span
+            fired_inline[0] = False
+            if (i // 512) % 2:
+                cache.read(1, offset, length, 1, on_done)
+            else:
+                cache.write(1, offset, length, 1, on_done)
+            if not fired_inline[0]:
+                break
+        pumping[0] = False
+
+    t0 = time.perf_counter()
+    pump()
+    engine.run()
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="cache",
+        value=n_requests / wall,
+        unit="ops/s",
+        wall_s=wall,
+        higher_is_better=True,
+        detail={
+            "requests": n_requests,
+            "events_run": engine.events_run,
+            "hit_fraction": round(metrics.cache.hit_fraction, 4),
+        },
+    )
+
+
+def bench_decode(scale: float = 0.1, *, min_mb: float = 2.0) -> BenchResult:
+    """ASCII decode bandwidth through the batch columnar path.
+
+    A single scaled venus trace is well under a megabyte, so the encoded
+    stream is tiled until it reaches ``min_mb`` -- repeated lines are
+    legal input (the decoder's reconstruction state simply carries
+    across copies) and keep the measurement out of timer-noise range.
+    """
+    workload = generate_workload("venus", scale=scale, seed=DEFAULT_SEED)
+    encoder = TraceEncoder(omit_operation_ids=True)
+    lines = [encoder.encode(r) for r in workload.trace.to_records()]
+    nbytes = sum(len(line) + 1 for line in lines)
+    copies = max(1, -(-int(min_mb * MB) // max(1, nbytes)))
+    lines = lines * copies
+    nbytes *= copies
+
+    t0 = time.perf_counter()
+    decoded = TraceDecoder().decode_array(lines)
+    wall = time.perf_counter() - t0
+    return BenchResult(
+        name="decode",
+        value=nbytes / MB / wall,
+        unit="MB/s",
+        wall_s=wall,
+        higher_is_better=True,
+        detail={"records": len(decoded), "ascii_bytes": nbytes},
+    )
+
+
+def bench_fig8(scale: float = 0.1, *, jobs: int = 1) -> BenchResult:
+    """End-to-end wall-clock of the Figure 8 cache-size sweep.
+
+    Runs without the on-disk result cache (a memoized sweep would
+    benchmark JSON loading).  The sweep rows are digested into the
+    detail so two bench runs can be checked for identical results, not
+    just comparable speed.
+    """
+    t0 = time.perf_counter()
+    points = cache_size_sweep(scale=scale, seed=DEFAULT_SEED, jobs=jobs)
+    wall = time.perf_counter() - t0
+    digest = hashlib.sha256(
+        json.dumps(
+            [
+                (p.cache_mb, p.block_kb, p.idle_seconds, p.hit_fraction)
+                for p in points
+            ],
+            sort_keys=True,
+        ).encode()
+    ).hexdigest()
+    return BenchResult(
+        name="fig8",
+        value=wall,
+        unit="s",
+        wall_s=wall,
+        higher_is_better=False,
+        detail={
+            "points": len(points),
+            "scale": scale,
+            "jobs": jobs,
+            "digest": digest[:16],
+        },
+    )
+
+
+# -- suite ------------------------------------------------------------------
+
+#: name -> (quick kwargs, full kwargs)
+_SUITE: dict[str, tuple[Callable[..., BenchResult], dict, dict]] = {
+    "engine": (bench_engine, {"n_events": 60_000}, {"n_events": 200_000}),
+    "cache": (bench_cache, {"n_requests": 10_000}, {"n_requests": 40_000}),
+    "decode": (
+        bench_decode,
+        {"scale": 0.1, "min_mb": 1.0},
+        {"scale": 0.1, "min_mb": 4.0},
+    ),
+    "fig8": (bench_fig8, {"scale": 0.05}, {"scale": 0.1}),
+}
+
+
+def run_suite(
+    *, quick: bool = False, jobs: int = 1, repeats: int = 1
+) -> dict:
+    """Run every benchmark; returns the ``BENCH_sim.json`` payload.
+
+    ``repeats`` re-runs each benchmark and keeps the best measurement
+    (throughput max / wall-clock min) -- the standard way to strip
+    scheduler noise from a microbenchmark.
+    """
+    results: dict[str, BenchResult] = {}
+    for name, (fn, quick_kwargs, full_kwargs) in _SUITE.items():
+        kwargs = dict(quick_kwargs if quick else full_kwargs)
+        if name == "fig8":
+            kwargs["jobs"] = jobs
+        best: BenchResult | None = None
+        for _ in range(max(1, repeats)):
+            r = fn(**kwargs)
+            if (
+                best is None
+                or (r.higher_is_better and r.value > best.value)
+                or (not r.higher_is_better and r.value < best.value)
+            ):
+                best = r
+        results[name] = best
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "repeats": repeats,
+        "benchmarks": {name: r.to_json() for name, r in results.items()},
+    }
+
+
+def compare_to_baseline(
+    payload: dict, baseline: dict, *, max_regression: float = 0.25
+) -> list[str]:
+    """Regression messages for every benchmark worse than the baseline.
+
+    A throughput benchmark regresses when it drops below
+    ``(1 - max_regression)`` of the baseline value; a wall-clock
+    benchmark when it exceeds ``(1 + max_regression)``.  Benchmarks
+    missing from either side are skipped (a new benchmark must not fail
+    the first run that introduces it).  Quick and full payloads run
+    different workload sizes, so comparing across modes is refused.
+    """
+    if payload.get("quick") != baseline.get("quick"):
+        raise ValueError(
+            "cannot compare a "
+            f"{'quick' if payload.get('quick') else 'full'} run against a "
+            f"{'quick' if baseline.get('quick') else 'full'} baseline"
+        )
+    problems: list[str] = []
+    base_benches = baseline.get("benchmarks", {})
+    for name, entry in payload.get("benchmarks", {}).items():
+        base = base_benches.get(name)
+        if base is None:
+            continue
+        value, ref = entry["value"], base["value"]
+        if entry.get("higher_is_better", True):
+            floor = ref * (1.0 - max_regression)
+            if value < floor:
+                problems.append(
+                    f"{name}: {value:.1f} {entry['unit']} is below "
+                    f"{floor:.1f} ({ref:.1f} baseline - {max_regression:.0%})"
+                )
+        else:
+            ceiling = ref * (1.0 + max_regression)
+            if value > ceiling:
+                problems.append(
+                    f"{name}: {value:.2f} {entry['unit']} exceeds "
+                    f"{ceiling:.2f} ({ref:.2f} baseline + {max_regression:.0%})"
+                )
+    return problems
+
+
+def render_table(payload: dict) -> str:
+    """Human-readable summary of a bench payload."""
+    lines = [
+        f"== repro bench ({'quick' if payload.get('quick') else 'full'}) =="
+    ]
+    for name, entry in payload["benchmarks"].items():
+        lines.append(
+            f"{name:8s} {entry['value']:>12,.1f} {entry['unit']:<9s}"
+            f" [{entry['wall_s']:.2f} s]"
+        )
+    return "\n".join(lines)
+
+
+def write_payload(payload: dict, path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

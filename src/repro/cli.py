@@ -19,7 +19,13 @@ Usage (``python -m repro <command>``):
 * ``profile EXPID [--metrics-out FILE] [--events-out FILE]`` -- run one
   experiment with the observability registry enabled and render the
   per-subsystem metrics report (cache hit rates, per-device busy time,
-  scheduler activity, engine event counts).
+  scheduler activity, engine event counts);
+* ``bench [--quick] [--out FILE] [--baseline FILE]
+  [--max-regression F] [--repeats N]`` -- run the perf microbenchmark
+  suite (engine events/s, cache ops/s, decode MB/s, Figure-8 sweep
+  wall-clock) and write ``BENCH_sim.json``; with ``--baseline`` the
+  exit status reflects whether any benchmark regressed beyond the
+  threshold (see ``docs/PERFORMANCE.md``).
 
 ``simulate`` and ``run`` also accept ``--metrics-out FILE`` to dump the
 same metrics as JSONL without the full profile report.
@@ -433,10 +439,79 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/results)",
     )
 
+    p_bench = sub.add_parser(
+        "bench", help="run the perf microbenchmark suite"
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller workloads for CI smoke runs",
+    )
+    p_bench.add_argument(
+        "--out", default="BENCH_sim.json",
+        help="where to write the JSON payload (default: BENCH_sim.json)",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="compare against a committed baseline payload "
+        "(e.g. benchmarks/perf/baseline.json); exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--max-regression", type=float, default=0.25,
+        help="allowed fractional regression vs the baseline (default 0.25)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="run each benchmark N times, keep the best (default 1)",
+    )
+    p_bench.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the Figure-8 sweep benchmark",
+    )
+
     p_fig = sub.add_parser("figures", help="render the figures to SVG+CSV")
     p_fig.add_argument("--out", default="figures")
     p_fig.add_argument("--scale", type=float, default=None)
     return parser
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_to_baseline,
+        load_baseline,
+        render_table,
+        run_suite,
+        write_payload,
+    )
+
+    payload = run_suite(
+        quick=args.quick, jobs=args.jobs if args.jobs else 1,
+        repeats=args.repeats,
+    )
+    print(render_table(payload))
+    path = write_payload(payload, args.out)
+    print(f"wrote {path}")
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"bad baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            problems = compare_to_baseline(
+                payload, baseline, max_regression=args.max_regression
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION {problem}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression vs {args.baseline} "
+            f"(threshold {args.max_regression:.0%})"
+        )
+    return 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -456,6 +531,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "bench": _cmd_bench,
     "figures": _cmd_figures,
 }
 

@@ -27,18 +27,44 @@ trace-replay processes and the disk model:
   own did not relieve the problem, and actually worsened CPU
   utilization").
 
-Implementation note: requests are decomposed into 4-8 KB blocks, so a
-single venus-sized request touches ~100 frames.  The hot paths therefore
-allocate/evict/settle *runs* of blocks per call and complete disk reads
-with one per-run callback, not per-block closures.
+Hot-path structure: columnar frames, run-coalesced bookkeeping
+--------------------------------------------------------------
+Requests are decomposed into 4-8 KB blocks, so a single venus-sized
+request touches ~100 frames.  Representing each frame as a Python object
+(the approach kept verbatim in :mod:`repro.sim.cache_legacy`) makes the
+simulator allocate and destroy millions of objects per run; this
+implementation stores frame metadata in per-file numpy columns instead:
+
+* ``st`` -- block state (absent / reading / valid / dirty / flushing),
+* ``own`` -- owning process, ``pf`` -- prefetched flag,
+* ``gen`` -- a generation counter bumped on every allocate/drop, which
+  replaces the legacy per-object identity checks: an in-flight disk
+  completion only settles positions whose generation still matches its
+  allocation snapshot, exactly as the legacy closures only settled
+  ``Block`` objects still present in the block map,
+* ``nid`` -- id of the clean-LRU run node currently holding the block.
+
+Classification, allocation, eviction, settle and flush are then slice
+operations over ``(first_block, n_blocks)`` extents instead of per-block
+loops.  The clean-LRU is a doubly-linked list of :class:`_CleanRun`
+nodes, one per run of blocks that became evictable together; eviction
+pops whole nodes off the LRU head, splitting at most one per allocation.
+Per-block LRU order is preserved by construction -- runs enter in
+ascending block order, and partial touches extract a slice to the MRU
+end while the remainder keeps its node's place -- so eviction victims,
+hence the disk request sequence and the seeded rotational-delay RNG
+stream, are bit-identical to the legacy implementation (asserted by the
+differential digest tests in ``tests/sim/test_hotpath_differential.py``).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+from collections import deque
 from dataclasses import dataclass
 from enum import Enum
 from typing import Callable
+
+import numpy as np
 
 from repro.obs.registry import get_registry
 from repro.sim.config import CacheConfig, FaultConfig, RecoveryConfig
@@ -51,47 +77,94 @@ from repro.util.errors import SimulationError
 
 
 class BlockState(Enum):
-    READING = 0  #: disk read in flight; frame pinned
-    VALID = 1  #: clean resident; evictable
-    DIRTY = 2  #: written, awaiting flush start
-    FLUSHING = 3  #: disk write in flight; frame pinned
+    """Block lifecycle states (exported for API compatibility; the
+    columnar hot path stores them as small ints in the ``st`` column)."""
+
+    READING = 1  #: disk read in flight; frame pinned
+    VALID = 2  #: clean resident; evictable
+    DIRTY = 3  #: written, awaiting flush start
+    FLUSHING = 4  #: disk write in flight; frame pinned
 
 
-_READING = BlockState.READING
-_VALID = BlockState.VALID
-_DIRTY = BlockState.DIRTY
-_FLUSHING = BlockState.FLUSHING
+_ABSENT = 0
+_READING = BlockState.READING.value
+_VALID = BlockState.VALID.value
+_DIRTY = BlockState.DIRTY.value
+_FLUSHING = BlockState.FLUSHING.value
 
 
-class Block:
-    """One cache frame's contents."""
+class _FileFrames:
+    """Columnar frame metadata for one file, grown on demand."""
 
-    __slots__ = ("key", "state", "owner", "prefetched", "waiters")
+    __slots__ = ("st", "own", "pf", "gen", "nid")
 
-    def __init__(self, key: tuple[int, int], state: BlockState, owner: int):
-        self.key = key
-        self.state = state
-        self.owner = owner
-        self.prefetched = False
-        self.waiters: list[Callable[[], None]] | None = None
+    def __init__(self, n_blocks: int):
+        self.st = np.zeros(n_blocks, dtype=np.uint8)
+        self.own = np.zeros(n_blocks, dtype=np.int64)
+        self.pf = np.zeros(n_blocks, dtype=bool)
+        self.gen = np.zeros(n_blocks, dtype=np.int64)
+        self.nid = np.full(n_blocks, -1, dtype=np.int64)
+
+    def grow(self, n_blocks: int) -> None:
+        old = self.st.size
+        extra = n_blocks - old
+        self.st = np.concatenate([self.st, np.zeros(extra, dtype=np.uint8)])
+        self.own = np.concatenate([self.own, np.zeros(extra, dtype=np.int64)])
+        self.pf = np.concatenate([self.pf, np.zeros(extra, dtype=bool)])
+        self.gen = np.concatenate([self.gen, np.zeros(extra, dtype=np.int64)])
+        self.nid = np.concatenate([self.nid, np.full(extra, -1, dtype=np.int64)])
+
+
+class _Run:
+    """Handle to a set of frames captured at allocation time.
+
+    ``idx`` holds ascending block numbers (possibly with gaps, for
+    prefetch over partially-resident spans); ``gen`` is the generation
+    snapshot.  Disk completions act only on positions whose current
+    generation still equals the snapshot -- the columnar equivalent of
+    the legacy ``self._blocks.get(b.key) is b`` identity checks.
+    """
+
+    __slots__ = ("fid", "idx", "gen")
+
+    def __init__(self, fid: int, idx: np.ndarray, gen: np.ndarray):
+        self.fid = fid
+        self.idx = idx
+        self.gen = gen
+
+
+class _CleanRun:
+    """A run of clean blocks occupying one slot of the LRU list.
+
+    ``idx`` is in per-block LRU order (ascending block numbers for
+    blocks that entered together).  Eviction takes whole nodes off the
+    LRU head, slicing the last one when only part of it is needed.
+    """
+
+    __slots__ = ("fid", "idx", "id", "prev", "next")
+
+    def __init__(self, fid: int, idx: np.ndarray, node_id: int):
+        self.fid = fid
+        self.idx = idx
+        self.id = node_id
+        self.prev: _CleanRun | None = None
+        self.next: _CleanRun | None = None
 
 
 class _DelayedFlush:
     """A dirty extent waiting out its Sprite-style delay."""
 
-    __slots__ = ("file_id", "offset", "length", "blocks", "cancelled")
+    __slots__ = ("file_id", "offset", "length", "run", "cancelled")
 
-    def __init__(
-        self, file_id: int, offset: int, length: int, blocks: list[Block]
-    ):
+    def __init__(self, file_id: int, offset: int, length: int, run: _Run):
         self.file_id = file_id
         self.offset = offset
         self.length = length
-        self.blocks = blocks
+        self.run = run
         self.cancelled = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _StreamState:
     """Per-file sequential-pattern tracking for the prefetcher."""
 
@@ -137,8 +210,20 @@ class BufferCache:
         self._c_evictions = reg.counter("sim.cache.evictions")
         self._c_parks = reg.counter("sim.cache.frame_wait_parks")
         self._g_wb_queue = reg.gauge("sim.cache.writebehind_queue_depth")
-        self._blocks: dict[tuple[int, int], Block] = {}
-        self._clean_lru: OrderedDict[tuple[int, int], Block] = OrderedDict()
+        # Hot-path locals: resolved once so the per-request code performs
+        # zero registry lookups and no repeated attribute chains.
+        self._stats = metrics.cache
+        self._record_demand = metrics.record_demand
+        self._files: dict[int, _FileFrames] = {}
+        self._resident = 0
+        self._lru_head: _CleanRun | None = None
+        self._lru_tail: _CleanRun | None = None
+        self._clean_count = 0
+        self._next_node_id = 0
+        self._nodes: dict[int, _CleanRun] = {}
+        #: waiters keyed by (file_id, block, generation): callbacks of
+        #: demand reads overlapping a block whose disk read is in flight
+        self._waiters: dict[tuple[int, int, int], list[Callable[[], None]]] = {}
         self._frame_waiters: deque[Callable[[], bool]] = deque()
         self._owner_counts: dict[int, int] = {}
         self._streams: dict[int, _StreamState] = {}
@@ -167,11 +252,12 @@ class BufferCache:
         """
         if length <= 0:
             raise SimulationError("read length must be positive")
-        stats = self.metrics.cache
+        stats = self._stats
         stats.read_requests += 1
         stats.read_bytes += length
-        self.metrics.record_demand(self.engine.now, length)
-        self._note_file_size(file_id, offset + length)
+        self._record_demand(self.engine.now, length)
+        if offset + length > self._file_sizes.get(file_id, 0):
+            self._file_sizes[file_id] = offset + length
 
         if self.degraded:
             self.metrics.faults.degraded_requests += 1
@@ -196,11 +282,12 @@ class BufferCache:
         """Demand write; completion timing depends on the write policy."""
         if length <= 0:
             raise SimulationError("write length must be positive")
-        stats = self.metrics.cache
+        stats = self._stats
         stats.write_requests += 1
         stats.write_bytes += length
-        self.metrics.record_demand(self.engine.now, length)
-        self._note_file_size(file_id, offset + length)
+        self._record_demand(self.engine.now, length)
+        if offset + length > self._file_sizes.get(file_id, 0):
+            self._file_sizes[file_id] = offset + length
 
         if self.degraded:
             self.metrics.faults.degraded_requests += 1
@@ -232,7 +319,7 @@ class BufferCache:
     def _bypass_read(
         self, file_id: int, offset: int, length: int, on_complete
     ) -> None:
-        self.metrics.cache.bypass_requests += 1
+        self._stats.bypass_requests += 1
         # Degraded requests never touched the (failed) SSD, so no
         # copy-through penalty.
         penalty = 0.0 if self.degraded else self.config.hit_penalty_s(length)
@@ -249,7 +336,7 @@ class BufferCache:
     def _bypass_write(
         self, file_id: int, offset: int, length: int, on_complete
     ) -> None:
-        self.metrics.cache.bypass_requests += 1
+        self._stats.bypass_requests += 1
         penalty = 0.0 if self.degraded else self.config.hit_penalty_s(length)
         if self.config.write_behind:
             # The device streams straight from the writer's memory; the
@@ -286,30 +373,141 @@ class BufferCache:
         bs = self.config.block_bytes
         return offset // bs, (offset + length - 1) // bs
 
-    def _note_file_size(self, file_id: int, end: int) -> None:
-        if end > self._file_sizes.get(file_id, 0):
-            self._file_sizes[file_id] = end
+    def _file(self, file_id: int, n_blocks: int) -> _FileFrames:
+        """The file's frame columns, grown to cover ``n_blocks``."""
+        frames = self._files.get(file_id)
+        if frames is None:
+            bs = self.config.block_bytes
+            hint = -(-self._file_sizes.get(file_id, 0) // bs)
+            frames = _FileFrames(max(n_blocks, hint, 64))
+            self._files[file_id] = frames
+        elif frames.st.size < n_blocks:
+            frames.grow(max(n_blocks, 2 * frames.st.size))
+        return frames
 
     @property
     def resident_blocks(self) -> int:
-        return len(self._blocks)
+        return self._resident
 
     def owner_blocks(self, owner: int) -> int:
         return self._owner_counts.get(owner, 0)
 
-    def make_valid(self, block: Block) -> None:
-        """Transition a block to clean-resident and put it at MRU."""
-        if block.state is _VALID:
-            self._clean_lru.move_to_end(block.key)
-            return
-        block.state = _VALID
-        self._clean_lru[block.key] = block
+    def _drop_frames(self, frames: _FileFrames, idx: np.ndarray) -> None:
+        """Free frames (state -> absent, generation bumped) and settle
+        the owner accounting.  The clean-LRU is NOT touched: callers
+        either evicted via the LRU already or are dropping pinned
+        (reading/dirty/flushing) frames that were never on it.
+        """
+        own = frames.own[idx]
+        counts = self._owner_counts
+        first_owner = int(own[0])
+        if own[-1] == first_owner and (own == first_owner).all():
+            # Runs are allocated by a single process, so most nodes are
+            # single-owner; only write-extent settles can mix owners.
+            n = idx.size
+            counts[first_owner] = counts.get(first_owner, n) - n
+        else:
+            owners, counts_per = np.unique(own, return_counts=True)
+            for owner, n in zip(owners, counts_per):
+                counts[int(owner)] = counts.get(int(owner), int(n)) - int(n)
+        frames.st[idx] = _ABSENT
+        frames.gen[idx] += 1
+        self._resident -= idx.size
 
-    def make_unclean(self, block: Block, state: BlockState) -> None:
-        """Transition a block out of the evictable pool."""
-        if block.state is _VALID:
-            self._clean_lru.pop(block.key, None)
-        block.state = state
+    # ------------------------------------------------------------------
+    # Clean-LRU run structure
+    # ------------------------------------------------------------------
+    def _lru_append(self, node: _CleanRun) -> None:
+        """Link ``node`` at the MRU (tail) end."""
+        tail = self._lru_tail
+        node.prev = tail
+        node.next = None
+        if tail is None:
+            self._lru_head = node
+        else:
+            tail.next = node
+        self._lru_tail = node
+
+    def _lru_unlink(self, node: _CleanRun) -> None:
+        prev, nxt = node.prev, node.next
+        if prev is None:
+            self._lru_head = nxt
+        else:
+            prev.next = nxt
+        if nxt is None:
+            self._lru_tail = prev
+        else:
+            nxt.prev = prev
+        node.prev = node.next = None
+
+    def _clean_append(self, frames: _FileFrames, fid: int, idx: np.ndarray) -> None:
+        """Make frames clean-resident as one MRU run (O(1) list ops)."""
+        node_id = self._next_node_id
+        self._next_node_id = node_id + 1
+        node = _CleanRun(fid, idx, node_id)
+        self._nodes[node_id] = node
+        frames.st[idx] = _VALID
+        frames.nid[idx] = node_id
+        self._lru_append(node)
+        self._clean_count += idx.size
+
+    def _clean_touch(self, frames: _FileFrames, idx: np.ndarray) -> None:
+        """Move already-clean frames to MRU, preserving per-block order.
+
+        ``idx`` is in encounter (ascending block) order.  Runs of
+        consecutive frames sharing a node move together: a whole node is
+        relinked in O(1); a partial slice is extracted to a new MRU node
+        while the remainder keeps the node's LRU position -- exactly the
+        per-block order the legacy ``move_to_end`` loop produced.
+        """
+        nids = frames.nid[idx]
+        n = nids.size
+        i = 0
+        nodes = self._nodes
+        while i < n:
+            nid = nids[i]
+            j = i + 1
+            while j < n and nids[j] == nid:
+                j += 1
+            node = nodes[int(nid)]
+            group = idx[i:j]
+            if j - i == node.idx.size:
+                if node is not self._lru_tail:
+                    self._lru_unlink(node)
+                    self._lru_append(node)
+            else:
+                node.idx = np.setdiff1d(node.idx, group, assume_unique=True)
+                node_id = self._next_node_id
+                self._next_node_id = node_id + 1
+                new_node = _CleanRun(node.fid, group, node_id)
+                nodes[node_id] = new_node
+                frames.nid[group] = node_id
+                self._lru_append(new_node)
+            i = j
+
+    def _clean_remove(self, frames: _FileFrames, idx: np.ndarray) -> None:
+        """Take specific clean frames out of the LRU (state untouched by
+        this call; callers transition it right after).  Remaining frames
+        of each affected node keep their relative order and the node
+        keeps its LRU position.
+        """
+        nids = frames.nid[idx]
+        n = nids.size
+        i = 0
+        nodes = self._nodes
+        while i < n:
+            nid = nids[i]
+            j = i + 1
+            while j < n and nids[j] == nid:
+                j += 1
+            node = nodes[int(nid)]
+            if j - i == node.idx.size:
+                self._lru_unlink(node)
+                del nodes[node.id]
+            else:
+                node.idx = np.setdiff1d(node.idx, idx[i:j], assume_unique=True)
+            i = j
+        self._clean_count -= n
 
     # ------------------------------------------------------------------
     # Frame management
@@ -319,68 +517,90 @@ class BufferCache:
         return cap is not None and self.owner_blocks(owner) + extra > cap
 
     def try_allocate_run(
-        self, keys: list[tuple[int, int]], owner: int, state: BlockState
-    ) -> list[Block] | None:
-        """Install a run of absent blocks, evicting clean LRU as needed.
+        self, fid: int, idx: np.ndarray, owner: int, state: int
+    ) -> _Run | None:
+        """Install a run of absent frames, evicting clean LRU as needed.
 
         All-or-nothing: returns None (no side effects) when not enough
         frames can be freed.  With an ownership cap, an over-cap process
-        may only recycle its *own* clean frames.
+        may only recycle its *own* clean frames.  Eviction pops whole
+        runs off the LRU head (splitting at most one), so the per-request
+        cost is O(runs), not O(blocks).
         """
-        needed = len(keys)
+        needed = idx.size
+        frames = self._files[fid]
         if needed == 0:
-            return []
-        capped = self._over_cap(owner, needed)
-        if capped:
-            victims: list[Block] = []
+            return _Run(fid, idx, frames.gen[idx].copy())
+        counts = self._owner_counts
+        nodes = self._nodes
+        if self._over_cap(owner, needed):
             cap = self.config.max_blocks_per_process
             assert cap is not None
-            allowed_new = max(0, cap - self.owner_blocks(owner))
+            allowed_new = max(0, cap - counts.get(owner, 0))
             must_recycle = needed - allowed_new
-            for block in self._clean_lru.values():
-                if len(victims) >= must_recycle:
-                    break
-                if block.owner == owner:
-                    victims.append(block)
-            if len(victims) < must_recycle:
+            # Scan runs from the LRU head collecting this owner's clean
+            # frames in per-block LRU order (node order, then in-node
+            # order -- the order the legacy per-block scan visited).
+            victims: list[tuple[_CleanRun, np.ndarray]] = []
+            n_found = 0
+            node = self._lru_head
+            while node is not None and n_found < must_recycle:
+                vf = self._files[node.fid]
+                mine = node.idx[vf.own[node.idx] == owner]
+                if mine.size:
+                    take = min(mine.size, must_recycle - n_found)
+                    victims.append((node, mine[:take]))
+                    n_found += take
+                node = node.next
+            if n_found < must_recycle:
                 return None
+            self._c_evictions.inc(n_found)
+            for node, vidx in victims:
+                vframes = self._files[node.fid]
+                if vidx.size == node.idx.size:
+                    self._lru_unlink(node)
+                    del nodes[node.id]
+                else:
+                    node.idx = np.setdiff1d(node.idx, vidx, assume_unique=True)
+                self._drop_frames(vframes, vidx)
+            self._clean_count -= n_found
         else:
-            free = self.config.n_blocks - len(self._blocks)
-            must_evict = needed - free
+            must_evict = needed - (self.config.n_blocks - self._resident)
             if must_evict > 0:
-                if must_evict > len(self._clean_lru):
+                if must_evict > self._clean_count:
                     return None
-                victims = []
-                for block in self._clean_lru.values():
-                    victims.append(block)
-                    if len(victims) >= must_evict:
-                        break
-            else:
-                victims = []
+                self._c_evictions.inc(must_evict)
+                node = self._lru_head
+                remaining = must_evict
+                while remaining:
+                    k = node.idx.size
+                    vframes = self._files[node.fid]
+                    if k <= remaining:
+                        self._drop_frames(vframes, node.idx)
+                        remaining -= k
+                        nxt = node.next
+                        self._lru_unlink(node)
+                        del nodes[node.id]
+                        node = nxt
+                    else:
+                        self._drop_frames(vframes, node.idx[:remaining])
+                        node.idx = node.idx[remaining:]
+                        remaining = 0
+                self._clean_count -= must_evict
 
-        if victims:
-            self._c_evictions.inc(len(victims))
-        for victim in victims:
-            self._drop(victim)
-        blocks = []
-        counts = self._owner_counts
+        frames.st[idx] = state
+        frames.own[idx] = owner
+        frames.pf[idx] = False
+        frames.gen[idx] += 1
         counts[owner] = counts.get(owner, 0) + needed
-        for key in keys:
-            block = Block(key, state, owner)
-            self._blocks[key] = block
-            if state is _VALID:
-                self._clean_lru[key] = block
-            blocks.append(block)
-        return blocks
-
-    def _drop(self, block: Block) -> None:
-        self._clean_lru.pop(block.key, None)
-        del self._blocks[block.key]
-        self._owner_counts[block.owner] = self._owner_counts.get(block.owner, 1) - 1
+        self._resident += needed
+        if state == _VALID:
+            self._clean_append(frames, fid, idx)
+        return _Run(fid, idx, frames.gen[idx].copy())
 
     def park_for_frames(self, retry: Callable[[], bool]) -> None:
         """Queue a retry closure to run when frames may be available."""
-        self.metrics.cache.frame_stalls += 1
+        self._stats.frame_stalls += 1
         self._c_parks.inc()
         self._frame_waiters.append(retry)
 
@@ -394,36 +614,64 @@ class BufferCache:
     # ------------------------------------------------------------------
     # Disk interaction
     # ------------------------------------------------------------------
+    def _fire_waiters(self, run: _Run) -> None:
+        """Release demand reads waiting on frames of ``run``, in
+        ascending block order (the order the legacy per-block loop fired
+        them).  Generation matching scopes the firing to this run's
+        incarnation of each block, like the legacy per-object waiter
+        lists; the state may have moved on (e.g. overwritten to
+        flushing) and the waiters are still released -- their data is in
+        the cache either way.
+        """
+        fid = run.fid
+        idx = run.idx
+        lo = int(idx[0])
+        hi = int(idx[-1])
+        matched: list[tuple[int, tuple[int, int, int]]] = []
+        for key in self._waiters:
+            kf, kb, kg = key
+            if kf != fid or kb < lo or kb > hi:
+                continue
+            pos = int(np.searchsorted(idx, kb))
+            if pos < idx.size and idx[pos] == kb and run.gen[pos] == kg:
+                matched.append((kb, key))
+        matched.sort()
+        for _, key in matched:
+            for waiter in self._waiters.pop(key):
+                waiter()
+
     def issue_disk_read(
         self,
         file_id: int,
         offset: int,
         length: int,
-        blocks: list[Block],
+        run: _Run,
         on_done: Callable[[], None] | None = None,
     ) -> None:
-        """One disk read covering ``blocks``; marks them VALID on arrival.
+        """One disk read covering ``run``; frames settle VALID on arrival.
 
-        When the device reports failure (retries exhausted), the READING
+        When the device reports failure (retries exhausted), the reading
         frames are abandoned -- dropped from the cache so a later demand
         read retries from disk -- and any waiters are released anyway:
         the requester's I/O is reported failed, not lost.
         """
 
         def arrive(ok: bool) -> None:
-            for block in blocks:
-                # A write may have overwritten the block while the read
-                # was in flight (state FLUSHING); only READING blocks
-                # settle to VALID (or, on failure, get abandoned).
-                if block.state is _READING:
-                    if ok:
-                        self.make_valid(block)
-                    else:
-                        self._drop(block)
-                if block.waiters:
-                    waiters, block.waiters = block.waiters, None
-                    for w in waiters:
-                        w()
+            # A write may have overwritten frames while the read was in
+            # flight (state flushing); only still-reading frames of this
+            # allocation settle to VALID (or, on failure, get abandoned).
+            frames = self._files[file_id]
+            idx = run.idx
+            live = idx[
+                (frames.gen[idx] == run.gen) & (frames.st[idx] == _READING)
+            ]
+            if ok:
+                if live.size:
+                    self._clean_append(frames, file_id, live)
+            elif live.size:
+                self._drop_frames(frames, live)
+            if self._waiters:
+                self._fire_waiters(run)
             if on_done is not None:
                 on_done()
             if self._frame_waiters:
@@ -436,65 +684,67 @@ class BufferCache:
         file_id: int,
         offset: int,
         length: int,
-        blocks: list[Block],
+        run: _Run,
         on_done: Callable[[], None] | None = None,
         *,
         reflush: int = 0,
     ) -> None:
-        """One disk write covering ``blocks``; they become clean on finish.
+        """One disk write covering ``run``; frames become clean on finish.
 
-        When the device reports failure, blocks still dirty-in-flight are
-        re-queued (back to DIRTY, re-flushed after ``reflush_delay_s``) up
+        When the device reports failure, frames still dirty-in-flight are
+        re-queued (back to dirty, re-flushed after ``reflush_delay_s``) up
         to ``max_reflushes`` times; past that the data is dropped and
         counted as lost.  The ``outstanding_flushes`` latch is held across
         the whole retry saga so the drain callback cannot fire while a
         re-flush is pending.
         """
-        for block in blocks:
-            self.make_unclean(block, _FLUSHING)
+        frames = self._files[file_id]
+        idx = run.idx
+        alive = idx[frames.gen[idx] == run.gen]
+        clean = alive[frames.st[alive] == _VALID]
+        if clean.size:
+            self._clean_remove(frames, clean)
+        frames.st[alive] = _FLUSHING
         self.outstanding_flushes += 1
         self._g_wb_queue.set_max(self.outstanding_flushes)
 
         def finished(ok: bool) -> None:
+            frames = self._files[file_id]
+            mask = (frames.gen[idx] == run.gen) & (frames.st[idx] == _FLUSHING)
+            live = idx[mask]
             if not ok:
-                live = [
-                    b
-                    for b in blocks
-                    if b.state is _FLUSHING and self._blocks.get(b.key) is b
-                ]
-                if live and reflush < self.recovery.max_reflushes:
+                if live.size and reflush < self.recovery.max_reflushes:
                     self.metrics.faults.reflushes += 1
-                    for b in live:
-                        b.state = _DIRTY
+                    frames.st[live] = _DIRTY
+                    live_gen = run.gen[mask]
 
                     def redo() -> None:
                         self.outstanding_flushes -= 1
-                        still = [
-                            b
-                            for b in live
-                            if b.state is _DIRTY and self._blocks.get(b.key) is b
-                        ]
+                        f2 = self._files[file_id]
+                        still_mask = (f2.gen[live] == live_gen) & (
+                            f2.st[live] == _DIRTY
+                        )
                         self._issue_flush_runs(
-                            file_id, still, on_done, reflush=reflush + 1
+                            file_id,
+                            _Run(file_id, live[still_mask], live_gen[still_mask]),
+                            on_done,
+                            reflush=reflush + 1,
                         )
 
                     # Latch stays held until redo() runs (decrement and
                     # re-issue are back to back, so drain cannot slip in).
                     self.engine.schedule(self.recovery.reflush_delay_s, redo)
                     return
-                if live:
+                if live.size:
                     # Retries and re-flushes exhausted: write-behind data
                     # is dropped -- this is the data-at-risk turning into
                     # data lost.
                     self.metrics.faults.lost_bytes += (
-                        len(live) * self.config.block_bytes
+                        int(live.size) * self.config.block_bytes
                     )
-                    for b in live:
-                        self._drop(b)
-            else:
-                for block in blocks:
-                    if block.state is _FLUSHING and block.key in self._blocks:
-                        self.make_valid(block)
+                    self._drop_frames(frames, live)
+            elif live.size:
+                self._clean_append(frames, file_id, live)
             self.outstanding_flushes -= 1
             if on_done is not None:
                 on_done()
@@ -508,57 +758,61 @@ class BufferCache:
     def _issue_flush_runs(
         self,
         file_id: int,
-        blocks: list[Block],
+        run: _Run,
         on_done: Callable[[], None] | None,
         *,
         reflush: int = 0,
     ) -> None:
-        """Flush a (possibly sparse) set of dirty blocks as contiguous runs.
+        """Flush a (possibly sparse) set of dirty frames as contiguous runs.
 
         Used when only part of an extent still needs writing -- a re-flush
-        after failure, or a delayed flush some of whose blocks were
+        after failure, or a delayed flush some of whose frames were
         already flushed by an overlapping extent.  ``on_done`` rides on
         the last run; with no runs at all it fires synchronously along
         with the drain check the skipped write would have performed.
         """
-        if not blocks:
+        idx = run.idx
+        if idx.size == 0:
             if on_done is not None:
                 on_done()
             if self.outstanding_flushes == 0 and self.on_drained is not None:
                 self.on_drained()
             return
         bs = self.config.block_bytes
-        blocks = sorted(blocks, key=lambda b: b.key[1])
-        runs: list[list[Block]] = [[blocks[0]]]
-        for block in blocks[1:]:
-            if block.key[1] == runs[-1][-1].key[1] + 1:
-                runs[-1].append(block)
-            else:
-                runs.append([block])
-        for i, run in enumerate(runs):
-            run_off = run[0].key[1] * bs
-            run_len = len(run) * bs
-            done = on_done if i == len(runs) - 1 else None
+        cut = np.flatnonzero(np.diff(idx) > 1) + 1
+        starts = np.concatenate([[0], cut, [idx.size]])
+        n_runs = starts.size - 1
+        for i in range(n_runs):
+            a, b = int(starts[i]), int(starts[i + 1])
+            sub = _Run(file_id, idx[a:b], run.gen[a:b])
+            run_off = int(idx[a]) * bs
+            run_len = (b - a) * bs
+            done = on_done if i == n_runs - 1 else None
             self.issue_disk_write(
-                file_id, run_off, run_len, run, done, reflush=reflush
+                file_id, run_off, run_len, sub, done, reflush=reflush
             )
 
     # ------------------------------------------------------------------
     # Delayed writes (Sprite-style, section 2.1)
     # ------------------------------------------------------------------
     def schedule_delayed_flush(
-        self, file_id: int, offset: int, length: int, blocks: list[Block]
+        self, file_id: int, offset: int, length: int, run: _Run
     ) -> None:
-        """Hold dirty blocks for ``flush_delay_s`` before flushing.
+        """Hold dirty frames for ``flush_delay_s`` before flushing.
 
         If :meth:`discard_file` removes the file before the delay
         expires -- a compiler temporary deleted young -- the disk write
         never happens: "temporary files which exist for less than 30
         seconds ... [are] never written to disk".
         """
-        for block in blocks:
-            self.make_unclean(block, _DIRTY)
-        handle = _DelayedFlush(file_id, offset, length, blocks)
+        frames = self._files[file_id]
+        idx = run.idx
+        alive = idx[frames.gen[idx] == run.gen]
+        clean = alive[frames.st[alive] == _VALID]
+        if clean.size:
+            self._clean_remove(frames, clean)
+        frames.st[alive] = _DIRTY
+        handle = _DelayedFlush(file_id, offset, length, run)
         self._delayed_flushes.setdefault(file_id, []).append(handle)
         self.outstanding_flushes += 1  # keeps drain accounting honest
         self._g_wb_queue.set_max(self.outstanding_flushes)
@@ -572,31 +826,30 @@ class BufferCache:
                 if self.outstanding_flushes == 0 and self.on_drained is not None:
                     self.on_drained()
                 return
-            # Only blocks still DIRTY belong to this flush.  A block that
-            # was rewritten during the delay is owned by the *newer*
-            # delayed extent (state DIRTY but re-queued -- identity still
-            # holds, so it stays here and the newer flush finds it
-            # FLUSHING and skips it); one that was already flushed or
-            # evicted is FLUSHING/VALID/absent and writing it again would
-            # double-count the bytes in the write statistics.
-            live = [
-                b
-                for b in blocks
-                if b.state is _DIRTY and self._blocks.get(b.key) is b
-            ]
-            if len(live) == len(blocks):
+            # Only frames still dirty in this run's incarnation belong to
+            # this flush.  A frame rewritten during the delay is owned by
+            # the *newer* delayed extent (same generation, so it stays
+            # here, and the newer flush finds it flushing and skips it);
+            # one already flushed or evicted is flushing/valid/absent and
+            # writing it again would double-count the bytes in the write
+            # statistics.
+            f2 = self._files[file_id]
+            live = idx[(f2.gen[idx] == run.gen) & (f2.st[idx] == _DIRTY)]
+            if live.size == idx.size:
                 # Whole extent intact: one contiguous write, exactly as
                 # originally queued.
-                self.issue_disk_write(file_id, offset, length, live)
+                self.issue_disk_write(file_id, offset, length, run)
             else:
-                self._issue_flush_runs(file_id, live, None)
+                self._issue_flush_runs(
+                    file_id, _Run(file_id, live, f2.gen[live].copy()), None
+                )
 
         self.engine.schedule(self.config.flush_delay_s, fire)
 
     def discard_file(self, file_id: int) -> int:
         """Drop a deleted file: cancel its pending delayed flushes and
         free its resident clean/dirty frames.  Returns the number of
-        cancelled flush extents (blocks already FLUSHING are beyond
+        cancelled flush extents (frames already flushing are beyond
         recall and complete normally).
         """
         cancelled = 0
@@ -604,11 +857,15 @@ class BufferCache:
             if not handle.cancelled:
                 handle.cancelled = True
                 cancelled += 1
-                self.metrics.cache.writes_cancelled += 1
-        for key in [k for k in self._blocks if k[0] == file_id]:
-            block = self._blocks[key]
-            if block.state in (_VALID, _DIRTY):
-                self._drop(block)
+                self._stats.writes_cancelled += 1
+        frames = self._files.get(file_id)
+        if frames is not None:
+            clean = np.flatnonzero(frames.st == _VALID)
+            if clean.size:
+                self._clean_remove(frames, clean)
+            gone = np.flatnonzero((frames.st == _VALID) | (frames.st == _DIRTY))
+            if gone.size:
+                self._drop_frames(frames, gone)
         self._streams.pop(file_id, None)
         if cancelled:
             self._kick_frame_waiters()
@@ -620,12 +877,13 @@ class BufferCache:
     def dirty_bytes(self) -> int:
         """Write-behind bytes not yet safely on disk (data at risk).
 
-        DIRTY blocks are waiting for their flush; FLUSHING blocks are in
+        Dirty frames are waiting for their flush; flushing frames are in
         flight but unacknowledged.  A crash at this instant loses exactly
         this many bytes.
         """
         n = sum(
-            1 for b in self._blocks.values() if b.state in (_DIRTY, _FLUSHING)
+            int(np.count_nonzero((f.st == _DIRTY) | (f.st == _FLUSHING)))
+            for f in self._files.values()
         )
         return n * self.config.block_bytes
 
@@ -633,8 +891,8 @@ class BufferCache:
         """The SSD died: dump its contents, route everything to disk.
 
         Resident clean data is simply gone (re-readable from disk);
-        resident dirty data is lost with the device.  Blocks with disk
-        transfers in flight (READING/FLUSHING) settle normally -- those
+        resident dirty data is lost with the device.  Frames with disk
+        transfers in flight (reading/flushing) settle normally -- those
         transfers were already streaming.  Subsequent read/write requests
         bypass the cache entirely.
         """
@@ -643,12 +901,15 @@ class BufferCache:
         self.degraded = True
         self.metrics.faults.degraded_at_s = self.engine.now
         lost = 0
-        for block in list(self._blocks.values()):
-            if block.state is _DIRTY:
-                lost += 1
-                self._drop(block)
-            elif block.state is _VALID:
-                self._drop(block)
+        for frames in self._files.values():
+            clean = np.flatnonzero(frames.st == _VALID)
+            if clean.size:
+                self._clean_remove(frames, clean)
+            dirty = np.flatnonzero(frames.st == _DIRTY)
+            lost += int(dirty.size)
+            gone = np.flatnonzero((frames.st == _VALID) | (frames.st == _DIRTY))
+            if gone.size:
+                self._drop_frames(frames, gone)
         self.metrics.faults.lost_bytes += lost * self.config.block_bytes
         # Parked requests retry through their original (cache-mediated)
         # closure; the pool just emptied, so let them finish that way.
@@ -681,24 +942,22 @@ class BufferCache:
         while start < window_end:
             length = min(stream.length, window_end - start)
             first, last = self._block_span(start, length)
+            frames = self._file(file_id, last + 1)
             # Only prefetch runs of absent blocks; stop growing the window
             # when frames are unavailable (prefetch never parks).
-            absent = [
-                (file_id, b)
-                for b in range(first, last + 1)
-                if (file_id, b) not in self._blocks
-            ]
-            if absent:
-                blocks = self.try_allocate_run(absent, owner, _READING)
-                if blocks is None:
+            absent = (
+                np.flatnonzero(frames.st[first:last + 1] == _ABSENT) + first
+            )
+            if absent.size:
+                run = self.try_allocate_run(file_id, absent, owner, _READING)
+                if run is None:
                     break
-                for block in blocks:
-                    block.prefetched = True
-                run_off = absent[0][1] * bs
-                run_len = (absent[-1][1] - absent[0][1] + 1) * bs
-                self.metrics.cache.prefetch_issued += 1
-                self.metrics.cache.prefetch_blocks += len(blocks)
-                self.issue_disk_read(file_id, run_off, run_len, blocks)
+                frames.pf[absent] = True
+                run_off = int(absent[0]) * bs
+                run_len = (int(absent[-1]) - int(absent[0]) + 1) * bs
+                self._stats.prefetch_issued += 1
+                self._stats.prefetch_blocks += int(absent.size)
+                self.issue_disk_read(file_id, run_off, run_len, run)
             start += length
             stream.prefetch_until = start
 
@@ -736,52 +995,55 @@ class _PendingRead:
         self.counted = False  # stats recorded once, even across retries
 
     def start(self) -> bool:
-        """Classify blocks and issue disk reads; False to retry later."""
+        """Classify the span and issue disk reads; False to retry later."""
         cache = self.cache
-        blocks_map = cache._blocks
-        clean_lru = cache._clean_lru
-        stats = cache.metrics.cache
+        stats = cache._stats
         first, last = cache._block_span(self.offset, self.length)
         fid = self.file_id
+        frames = cache._file(fid, last + 1)
+        seg = frames.st[first:last + 1]
+        span = seg.size
 
-        missing_runs: list[list[tuple[int, int]]] = []
-        run: list[tuple[int, int]] | None = None
-        wait_blocks: list[Block] = []
-        n_hit = n_miss = n_inflight = n_ra_hit = 0
-
-        for b in range(first, last + 1):
-            key = (fid, b)
-            block = blocks_map.get(key)
-            if block is None:
-                n_miss += 1
-                if run is None:
-                    run = [key]
-                    missing_runs.append(run)
-                else:
-                    run.append(key)
-                continue
-            run = None
-            if block.state is _READING:
-                n_inflight += 1
-                wait_blocks.append(block)
+        if not seg.any():
+            # Cold read: the whole span is one missing run.
+            n_miss = span
+            n_hit = n_inflight = n_ra_hit = 0
+            missing: list[np.ndarray] = [np.arange(first, last + 1)]
+            reading = _EMPTY_IDX
+        else:
+            absent = np.flatnonzero(seg == _ABSENT)
+            reading = np.flatnonzero(seg == _READING) + first
+            n_miss = int(absent.size)
+            n_inflight = int(reading.size)
+            n_hit = span - n_miss - n_inflight
+            if n_hit:
+                resident = np.flatnonzero(seg >= _VALID) + first
+                pf_hits = resident[frames.pf[resident]]
+                n_ra_hit = int(pf_hits.size)
+                if n_ra_hit:
+                    frames.pf[pf_hits] = False
+                touched = resident[frames.st[resident] == _VALID]
+                if touched.size:
+                    cache._clean_touch(frames, touched)
             else:
-                n_hit += 1
-                if block.prefetched:
-                    n_ra_hit += 1
-                    block.prefetched = False
-                if block.state is _VALID:
-                    clean_lru.move_to_end(key)
+                n_ra_hit = 0
+            if n_miss:
+                cut = np.flatnonzero(np.diff(absent) > 1) + 1
+                missing = [
+                    part + first for part in np.split(absent, cut)
+                ]
+            else:
+                missing = []
 
         # Allocate every missing run up front; all-or-nothing.
-        allocated: list[tuple[list[tuple[int, int]], list[Block]]] = []
-        for keys in missing_runs:
-            blocks = cache.try_allocate_run(keys, self.owner, _READING)
-            if blocks is None:
-                for _, done in allocated:
-                    for blk in done:
-                        cache._drop(blk)
+        allocated: list[_Run] = []
+        for idx in missing:
+            run = cache.try_allocate_run(fid, idx, self.owner, _READING)
+            if run is None:
+                for done in allocated:
+                    cache._drop_frames(frames, done.idx)
                 return False
-            allocated.append((keys, blocks))
+            allocated.append(run)
 
         if not self.counted:
             stats.block_hits += n_hit
@@ -790,17 +1052,23 @@ class _PendingRead:
             stats.readahead_hits += n_ra_hit
             self.counted = True
 
-        self.outstanding = len(allocated) + len(wait_blocks)
+        self.outstanding = len(allocated) + n_inflight
 
-        for block in wait_blocks:
-            if block.waiters is None:
-                block.waiters = []
-            block.waiters.append(self._one_arrived)
+        if n_inflight:
+            waiters = cache._waiters
+            gens = frames.gen[reading]
+            for b, g in zip(reading, gens):
+                key = (fid, int(b), int(g))
+                lst = waiters.get(key)
+                if lst is None:
+                    waiters[key] = [self._one_arrived]
+                else:
+                    lst.append(self._one_arrived)
         bs = cache.config.block_bytes
-        for keys, blocks in allocated:
-            run_off = keys[0][1] * bs
-            run_len = (keys[-1][1] - keys[0][1] + 1) * bs
-            cache.issue_disk_read(fid, run_off, run_len, blocks, self._one_arrived)
+        for run in allocated:
+            run_off = int(run.idx[0]) * bs
+            run_len = int(run.idx.size) * bs
+            cache.issue_disk_read(fid, run_off, run_len, run, self._one_arrived)
 
         if self.outstanding == 0:
             self._finish()
@@ -817,6 +1085,9 @@ class _PendingRead:
         # suspending the process" -- so it is handed to the caller to
         # charge as computation.
         self.on_complete(self.cache.config.hit_penalty_s(self.length))
+
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)
 
 
 class _PendingWrite:
@@ -842,36 +1113,42 @@ class _PendingWrite:
 
     def start(self) -> bool:
         cache = self.cache
-        blocks_map = cache._blocks
         first, last = cache._block_span(self.offset, self.length)
         fid = self.file_id
-
-        present: list[Block] = []
-        absent: list[tuple[int, int]] = []
-        for b in range(first, last + 1):
-            key = (fid, b)
-            block = blocks_map.get(key)
-            if block is None:
-                absent.append(key)
-            else:
-                present.append(block)
-        new_blocks = cache.try_allocate_run(absent, self.owner, _VALID)
-        if new_blocks is None:
+        frames = cache._file(fid, last + 1)
+        seg = frames.st[first:last + 1]
+        # Snapshot the whole span's generations before allocating: if the
+        # allocation evicts one of this request's own present frames, its
+        # bumped generation no longer matches and the extent write treats
+        # it as dead (the legacy dead-Block ride-along case).
+        gen_span = frames.gen[first:last + 1].copy()
+        if seg.any():
+            absent = np.flatnonzero(seg == _ABSENT) + first
+        else:
+            absent = np.arange(first, last + 1)
+        # New frames go straight to dirty: every write path immediately
+        # transitions them out of the clean pool anyway, and nothing
+        # observes the LRU between allocation and that transition, so
+        # skipping the clean-LRU round trip changes no behavior.
+        new_run = cache.try_allocate_run(fid, absent, self.owner, _DIRTY)
+        if new_run is None:
             return False
-        for block in present:
-            block.prefetched = False
-        blocks = present + new_blocks
+        if absent.size != seg.size:
+            present = np.flatnonzero(frames.st[first:last + 1] != _ABSENT) + first
+            frames.pf[present] = False
+        gen_span[absent - first] = new_run.gen
+        run = _Run(fid, np.arange(first, last + 1), gen_span)
 
         if cache.config.write_behind:
             # Data lands in the cache; the writer continues immediately,
             # paying only the (SSD) copy-in penalty as CPU; the flush
             # happens behind its back (optionally after a Sprite-style
             # delay, during which a deleted file escapes the disk).
-            cache.metrics.cache.writes_absorbed += 1
+            cache._stats.writes_absorbed += 1
             if cache.config.flush_delay_s > 0:
-                cache.schedule_delayed_flush(fid, self.offset, self.length, blocks)
+                cache.schedule_delayed_flush(fid, self.offset, self.length, run)
             else:
-                cache.issue_disk_write(fid, self.offset, self.length, blocks)
+                cache.issue_disk_write(fid, self.offset, self.length, run)
             self.on_complete(cache.config.hit_penalty_s(self.length))
         else:
             # Write-through: the writer waits for the disk; the copy-in
@@ -881,7 +1158,7 @@ class _PendingWrite:
                 fid,
                 self.offset,
                 self.length,
-                blocks,
+                run,
                 lambda: self.on_complete(penalty),
             )
         return True

@@ -22,6 +22,18 @@ land on it.  Passing ``tick_s`` snaps every scheduled time to the
 nearest multiple of the tick, which resets the error at every event
 instead of letting it accumulate (grid multiples are fixed points of the
 snap, so times never move backwards).
+
+Allocation discipline
+---------------------
+The calendar runs millions of events per simulation, so the per-event
+cost is kept to one preallocated tuple: callbacks take their arguments
+through ``schedule(delay, fn, *args)`` instead of capturing them in a
+closure (callers previously allocated a fresh lambda per event, which
+dominated the scheduler's profile).  The heap entry is ``(when, seq,
+fn, args)``; ``seq`` is unique, so ``fn``/``args`` never take part in
+heap comparisons.  Cancellation is lazy: :meth:`cancel` records the
+entry's sequence number and the run loop discards it -- without running
+it, counting it, or advancing the clock -- when it reaches the top.
 """
 
 from __future__ import annotations
@@ -41,31 +53,46 @@ class Engine:
             raise SimulationError(f"tick_s must be positive, got {tick_s}")
         self.now: float = 0.0
         self.tick_s = tick_s
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._seq = 0
         self._events_run = 0
+        self._cancelled: set[int] = set()
         reg = obs if obs is not None else get_registry()
         self._c_events = reg.counter("sim.engine.events_run")
         self._c_advanced = reg.counter("sim.engine.time_advanced_s")
         self._g_heap = reg.gauge("sim.engine.heap_depth")
 
-    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` at absolute time ``when`` (>= now)."""
+    def schedule_at(self, when: float, fn: Callable[..., None], *args) -> int:
+        """Run ``fn(*args)`` at absolute time ``when`` (>= now).
+
+        Returns a handle usable with :meth:`cancel`.
+        """
         if self.tick_s is not None:
             when = round(when / self.tick_s) * self.tick_s
         if when < self.now:
             raise SimulationError(
                 f"cannot schedule event at {when} before now={self.now}"
             )
-        heapq.heappush(self._heap, (when, self._seq, fn))
-        self._seq += 1
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (when, seq, fn, args))
         self._g_heap.set_max(len(self._heap))
+        return seq
 
-    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
-        """Run ``fn`` after ``delay`` seconds of simulated time."""
+    def schedule(self, delay: float, fn: Callable[..., None], *args) -> int:
+        """Run ``fn(*args)`` after ``delay`` seconds of simulated time.
+
+        Returns a handle usable with :meth:`cancel`.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        self.schedule_at(self.now + delay, fn)
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def cancel(self, handle: int) -> None:
+        """Drop a scheduled event.  O(1); the entry is discarded when it
+        surfaces, without running, being counted, or advancing the clock.
+        """
+        self._cancelled.add(handle)
 
     @property
     def pending(self) -> int:
@@ -95,21 +122,28 @@ class Engine:
         """
         t0 = self.now
         e0 = self._events_run
+        heap = self._heap
+        heappop = heapq.heappop
+        cancelled = self._cancelled
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and self._events_run >= max_events:
                     raise SimulationError(
                         f"event budget exhausted after {self._events_run} events"
                     )
-                when, _, fn = self._heap[0]
+                item = heap[0]
+                when = item[0]
                 if until is not None and when > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
+                if cancelled and item[1] in cancelled:
+                    cancelled.discard(item[1])
+                    continue
                 if when < self.now:
                     raise SimulationError("event queue went backwards")
                 self.now = when
                 self._events_run += 1
-                fn()
+                item[2](*item[3])
             if until is not None and advance_clock and self.now < until:
                 self.now = until
         finally:

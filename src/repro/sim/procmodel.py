@@ -10,6 +10,16 @@ system overhead), then issues the record's I/O against the buffer cache.
 Synchronous requests block the process until the cache reports
 completion; asynchronous ones (the `les` pattern) let it continue
 immediately -- the cache still moves the data.
+
+The replay loop is columnar: the trace's fields are decoded once into
+plain Python lists (:meth:`TraceArray.replay_columns`) at construction,
+so issuing a record costs a handful of list reads.  Indexing the NumPy
+columns per record would box fresh scalars -- and going through the
+``is_write``/``is_async`` properties would recompute a full-trace
+boolean array for every record, turning replay quadratic.  Multi-block
+requests flow to the cache as whole extents; the run-coalesced cache
+(see :mod:`repro.sim.cache`) turns each into O(runs) work rather than
+O(blocks).
 """
 
 from __future__ import annotations
@@ -55,11 +65,22 @@ class TraceProcess:
         self.sched_config = sched_config
         self.on_finish = on_finish
 
-        self._deltas_s = trace.process_time_deltas().astype(float) * ticks_to_seconds(1)
+        deltas = trace.process_time_deltas().astype(float) * ticks_to_seconds(1)
+        self._deltas_s: list[float] = deltas.tolist()
+        (
+            self._file_ids,
+            self._offsets,
+            self._lengths,
+            self._writes,
+            self._asyncs,
+        ) = trace.replay_columns()
+        self._n_records = len(trace)
+        self._pstats = metrics.process(process_id)
+        self._fs_overhead_s = sched_config.fs_overhead_s
         self._cursor = 0
-        self._pending_compute = float(self._deltas_s[0]) if len(trace) else 0.0
+        self._pending_compute = self._deltas_s[0] if self._n_records else 0.0
         self._blocked_at: float | None = None
-        self.finished = len(trace) == 0
+        self.finished = self._n_records == 0
 
     # -- Runnable protocol ---------------------------------------------------
     def compute_remaining(self) -> float:
@@ -70,32 +91,30 @@ class TraceProcess:
 
     def on_cpu_available(self) -> bool:
         """Issue I/Os until we block, finish, or need more compute."""
+        n = self._n_records
         while True:
-            if self._cursor >= len(self.trace):
+            i = self._cursor
+            if i >= n:
                 self.finished = True
                 self.scheduler.mark_done(self)
                 if self.on_finish is not None:
                     self.on_finish(self)
                 return False
 
-            i = self._cursor
-            self._cursor += 1
-            self.metrics.process(self.process_id).n_ios += 1
+            self._cursor = i + 1
+            self._pstats.n_ios += 1
             # Load the *next* record's compute demand now; it runs after
             # this I/O is out the door.
-            if self._cursor < len(self.trace):
-                self._pending_compute = float(self._deltas_s[self._cursor])
-            else:
-                self._pending_compute = 0.0
-            self._pending_compute += self.sched_config.fs_overhead_s
+            next_i = i + 1
+            pending = self._deltas_s[next_i] if next_i < n else 0.0
+            self._pending_compute = pending + self._fs_overhead_s
 
-            file_id = int(self.trace.file_id[i])
-            offset = int(self.trace.offset[i])
-            length = int(self.trace.length[i])
-            is_write = bool(self.trace.is_write[i])
-            is_async = bool(self.trace.is_async[i])
+            file_id = self._file_ids[i]
+            offset = self._offsets[i]
+            length = self._lengths[i]
+            is_write = self._writes[i]
 
-            if is_async:
+            if self._asyncs[i]:
                 # Fire and forget: the cache moves the data; the process's
                 # overlap discipline is already baked into its CPU deltas.
                 self._submit(file_id, offset, length, is_write, on_done=None)
@@ -138,9 +157,7 @@ class TraceProcess:
             flag.fired_inline = True
             return
         if self._blocked_at is not None:
-            self.metrics.process(self.process_id).blocked_seconds += (
-                self.engine.now - self._blocked_at
-            )
+            self._pstats.blocked_seconds += self.engine.now - self._blocked_at
             self._blocked_at = None
         self.scheduler.unblock(self)
 

@@ -101,7 +101,7 @@ class RecoveringDevice:
             self.metrics.record_disk_transfer(
                 is_write=is_write, t_start=t0, t_end=t0 + service, nbytes=length
             )
-            self.engine.schedule(service, lambda: on_done(True))
+            self.engine.schedule(service, on_done, True)
             return
         self._attempt(file_id, offset, length, is_write, on_done, 0, self.engine.now)
 
@@ -145,7 +145,7 @@ class RecoveringDevice:
                 stats.recovered += 1
                 self._h_latency.observe(t0 + service - started)
             self._note_attempts(attempt + 1)
-            self.engine.schedule(service, lambda: on_done(True))
+            self.engine.schedule(service, on_done, True)
             return
 
         if attempt < cfg.max_retries:
@@ -154,9 +154,8 @@ class RecoveringDevice:
             self._h_backoff.observe(delay)
             self.engine.schedule(
                 latency + delay,
-                lambda: self._attempt(
-                    file_id, offset, length, is_write, on_done, attempt + 1, started
-                ),
+                self._attempt,
+                file_id, offset, length, is_write, on_done, attempt + 1, started,
             )
             return
 
@@ -168,7 +167,7 @@ class RecoveringDevice:
         else:
             stats.failed_reads += 1
             stats.failed_read_bytes += length
-        self.engine.schedule(latency, lambda: on_done(False))
+        self.engine.schedule(latency, on_done, False)
 
     def _note_attempts(self, n: int) -> None:
         if n > self.metrics.faults.max_attempts:

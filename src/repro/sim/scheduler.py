@@ -119,15 +119,13 @@ class RoundRobinScheduler:
                 self._c_switches.inc()
                 self.metrics.switch_seconds += switch
                 self.metrics.record_busy_point(self.engine.now, switch)
-            self.engine.schedule(switch, lambda p=proc, c=cpu: self._run_slice(p, c))
+            self.engine.schedule(switch, self._run_slice, proc, cpu)
 
     def _run_slice(self, proc: Runnable, cpu: int) -> None:
         remaining = proc.compute_remaining()
         slice_s = min(self.config.quantum_s, remaining)
         if slice_s > 0:
-            self.engine.schedule(
-                slice_s, lambda: self._slice_done(proc, cpu, slice_s)
-            )
+            self.engine.schedule(slice_s, self._slice_done, proc, cpu, slice_s)
         else:
             self._slice_done(proc, cpu, 0.0)
 

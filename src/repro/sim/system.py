@@ -6,6 +6,7 @@ CPU with multiple processes making I/O requests."
 
 from __future__ import annotations
 
+import os
 from typing import Sequence
 
 from repro.obs.registry import get_registry
@@ -23,6 +24,30 @@ from repro.util.errors import SimulationError
 from repro.util.timeseries import RateSeries
 
 
+def _cache_class(cache_impl: str | None):
+    """Resolve the buffer-cache implementation.
+
+    ``"fast"`` (default) is the run-coalesced production cache;
+    ``"legacy"`` is the per-block reference kept for differential
+    testing.  The ``REPRO_CACHE_IMPL`` environment variable applies when
+    no explicit argument is given, so whole sweeps (including worker
+    processes, which inherit the environment) can be flipped without a
+    config change -- deliberately *not* a ``SimConfig`` field, so result
+    cache keys are identical for both implementations.
+    """
+    if cache_impl is None:
+        cache_impl = os.environ.get("REPRO_CACHE_IMPL", "fast")
+    if cache_impl == "fast":
+        return BufferCache
+    if cache_impl == "legacy":
+        from repro.sim.cache_legacy import BufferCache as LegacyBufferCache
+
+        return LegacyBufferCache
+    raise SimulationError(
+        f"unknown cache_impl {cache_impl!r} (expected 'fast' or 'legacy')"
+    )
+
+
 class SimulatedSystem:
     """One runnable simulation instance."""
 
@@ -32,6 +57,7 @@ class SimulatedSystem:
         config: SimConfig | None = None,
         *,
         obs=None,
+        cache_impl: str | None = None,
     ):
         self.config = config if config is not None else SimConfig()
         if not traces:
@@ -62,7 +88,7 @@ class SimulatedSystem:
             self.metrics,
             obs=self.obs,
         )
-        self.cache = BufferCache(
+        self.cache = _cache_class(cache_impl)(
             self.config.cache, self.engine, self.disk, self.metrics,
             file_sizes=file_sizes, device=self.device, obs=self.obs,
         )

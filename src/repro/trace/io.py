@@ -73,5 +73,11 @@ def write_trace_array(
 
 
 def read_trace_array(path: str | Path) -> TraceArray:
-    """Load a trace file into the columnar representation."""
-    return TraceArray.from_records(read_io_records(path))
+    """Load a trace file into the columnar representation.
+
+    Uses the batch decoder (:meth:`TraceDecoder.decode_array`), which
+    fills the columns directly without materializing a record object per
+    line; tested byte-identical to the record-at-a-time path.
+    """
+    with open(path, "r", encoding="ascii") as fh:
+        return TraceDecoder().decode_array(fh)

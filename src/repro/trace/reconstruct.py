@@ -24,7 +24,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.obs.registry import get_registry
-from repro.trace.array import TraceArray
+from repro.trace.array import TraceArray, TraceArrayBuilder
 from repro.trace.packets import IOEvent, TracePacket
 from repro.trace.record import TraceRecord
 
@@ -149,16 +149,24 @@ def reconstruct_records(packets: Iterable[TracePacket]) -> list[TraceRecord]:
 
 
 def reconstruct_array(packets: Iterable[TracePacket]) -> TraceArray:
-    """Packet log -> columnar trace."""
-    events = list(iter_events_in_time_order(packets))
-    return TraceArray.from_columns(
-        record_type=[e.record_type for e in events],
-        file_id=[e.file_id for e in events],
-        process_id=[e.process_id for e in events],
-        operation_id=[e.operation_id for e in events],
-        offset=[e.offset for e in events],
-        length=[e.length for e in events],
-        start_time=[e.start_time for e in events],
-        duration=[e.duration for e in events],
-        process_clock=[e.process_clock for e in events],
-    )
+    """Packet log -> columnar trace.
+
+    Streams the time-ordered events straight into a
+    :class:`TraceArrayBuilder` (events carry absolute process clocks, so
+    no delta integration is needed here).
+    """
+    builder = TraceArrayBuilder()
+    append = builder.append
+    for e in iter_events_in_time_order(packets):
+        append(
+            e.record_type,
+            e.file_id,
+            e.process_id,
+            e.operation_id,
+            e.offset,
+            e.length,
+            e.start_time,
+            e.duration,
+            e.process_clock,
+        )
+    return builder.build()

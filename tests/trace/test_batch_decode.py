@@ -1,0 +1,143 @@
+"""Batch decode and columnar-replay helpers: byte-identical to row paths.
+
+The batch decoder (:meth:`TraceDecoder.decode_array`) and the
+:class:`TraceArrayBuilder` exist purely for speed; every test here pins
+them to the record-at-a-time reference output, including the error
+diagnostics (a truncated line must fail identically through both
+paths).
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace import flags as F
+from repro.trace.array import TraceArray, TraceArrayBuilder
+from repro.trace.decode import TraceDecoder, decode_lines
+from repro.trace.encode import TraceEncoder
+from repro.trace.io import read_trace_array, write_trace_array
+from repro.trace.record import TraceRecord
+from repro.util.errors import TraceFormatError
+from repro.util.rng import DEFAULT_SEED
+from repro.workloads.base import generate_workload
+
+
+@pytest.fixture(scope="module")
+def venus_lines():
+    workload = generate_workload("venus", scale=0.05, seed=DEFAULT_SEED)
+    encoder = TraceEncoder()
+    return [encoder.encode(r) for r in workload.trace.to_records()]
+
+
+def _assert_arrays_equal(a: TraceArray, b: TraceArray) -> None:
+    assert len(a) == len(b)
+    for name, col in a.columns().items():
+        other = getattr(b, name)
+        assert col.dtype == other.dtype, name
+        np.testing.assert_array_equal(col, other, err_msg=name)
+
+
+def test_decode_array_matches_record_path(venus_lines):
+    via_records = TraceArray.from_records(
+        r for r in decode_lines(venus_lines) if isinstance(r, TraceRecord)
+    )
+    via_batch = TraceDecoder().decode_array(venus_lines)
+    _assert_arrays_equal(via_batch, via_records)
+
+
+def test_decode_array_skips_comments_and_blanks(venus_lines):
+    noisy = [f"{F.TRACE_COMMENT} a header comment", "", *venus_lines, "  "]
+    batch = TraceDecoder().decode_array(noisy)
+    assert len(batch) == len(venus_lines)
+
+
+def test_decode_array_errors_match_record_path():
+    # Same failure, same message, same line number through both paths:
+    # decode_array shares the field parser with decode().
+    lines = ["8 0 4096 4096"]  # plain write, truncated before startTime
+    with pytest.raises(TraceFormatError, match="truncated before") as batch:
+        TraceDecoder().decode_array(lines)
+    with pytest.raises(TraceFormatError, match="truncated before") as record:
+        decode_lines(lines)
+    assert str(batch.value) == str(record.value)
+
+
+def test_decode_array_integrates_process_clocks_per_process():
+    # Two interleaved processes: each one's process_clock must integrate
+    # its own deltas independently, exactly like from_records.
+    records = [
+        TraceRecord(record_type=0, offset=0, length=512, start_time=10,
+                    duration=1, operation_id=1, file_id=1, process_id=1,
+                    process_time=100),
+        TraceRecord(record_type=0, offset=0, length=512, start_time=20,
+                    duration=1, operation_id=2, file_id=2, process_id=2,
+                    process_time=7),
+        TraceRecord(record_type=0, offset=512, length=512, start_time=30,
+                    duration=1, operation_id=3, file_id=1, process_id=1,
+                    process_time=50),
+    ]
+    encoder = TraceEncoder()
+    lines = [encoder.encode(r) for r in records]
+    batch = TraceDecoder().decode_array(lines)
+    np.testing.assert_array_equal(batch.process_clock, [100, 7, 150])
+
+
+def test_read_trace_array_roundtrip(tmp_path, venus_lines):
+    # read_trace_array now goes through the batch decoder; the full
+    # write -> read cycle must reproduce the columns bit for bit.
+    workload = generate_workload("venus", scale=0.05, seed=DEFAULT_SEED)
+    path = tmp_path / "venus.trace"
+    write_trace_array(path, workload.trace, header_comments=["roundtrip"])
+    _assert_arrays_equal(read_trace_array(path), workload.trace)
+
+
+def test_builder_empty_and_dtypes():
+    built = TraceArrayBuilder().build()
+    assert len(built) == 0
+    reference = TraceArray.empty()
+    for name, col in built.columns().items():
+        assert col.dtype == getattr(reference, name).dtype, name
+
+
+# -- replay helpers ---------------------------------------------------------
+
+def test_replay_columns_match_properties():
+    workload = generate_workload("les", scale=0.05, seed=DEFAULT_SEED)
+    trace = workload.trace
+    fids, offs, lens, writes, asyncs = trace.replay_columns()
+    assert fids == trace.file_id.tolist()
+    assert offs == trace.offset.tolist()
+    assert lens == trace.length.tolist()
+    assert writes == trace.is_write.tolist()
+    assert asyncs == trace.is_async.tolist()
+    assert all(isinstance(w, bool) for w in writes)
+
+
+def test_sequential_runs_detects_spans():
+    w = F.TRACE_WRITE
+    trace = TraceArray.from_columns(
+        record_type=[0, 0, 0, w, w, 0, 0, 0],
+        file_id=[1, 1, 1, 1, 1, 2, 1, 1],
+        offset=[0, 512, 1024, 1536, 2048, 0, 4096, 4608],
+        length=[512] * 8,
+    )
+    # rows 0-2: sequential reads of file 1
+    # row 3: contiguous but direction flips read->write -> new run
+    # row 4: extends the write run
+    # row 5: different file -> new run
+    # row 6: file 1 again but offset jumps -> new run
+    # row 7: extends it
+    np.testing.assert_array_equal(trace.sequential_runs(), [0, 3, 5, 6])
+
+
+def test_sequential_runs_requires_same_size():
+    trace = TraceArray.from_columns(
+        record_type=[0, 0, 0],
+        file_id=[1, 1, 1],
+        offset=[0, 512, 1024],
+        length=[512, 512, 256],  # contiguous, but the size changes
+    )
+    np.testing.assert_array_equal(trace.sequential_runs(), [0, 2])
+
+
+def test_sequential_runs_empty():
+    assert len(TraceArray.empty().sequential_runs()) == 0
