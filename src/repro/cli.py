@@ -6,13 +6,20 @@ Usage (``python -m repro <command>``):
 * ``run EXPID [--scale S]`` -- reproduce one of them and print the report;
 * ``generate APP -o FILE [--scale S] [--seed N]`` -- write a calibrated
   synthetic trace in the paper's ASCII format;
+* ``compile-trace FILE [FILE...] [-o OUT] [--cache] [--verify]`` --
+  compile ASCII traces into binary columnar store bundles (``.rpt``)
+  that later runs memory-map with zero per-record work; ``--cache``
+  compiles into the content-addressed trace cache instead
+  (``$REPRO_TRACE_CACHE``, see ``docs/FORMAT.md``);
 * ``analyze FILE`` -- Table-1/2-style summary, sequentiality and class
-  breakdown of any trace file;
+  breakdown of any trace file (ASCII or compiled store bundle);
 * ``simulate FILE [FILE...] [--cache-mb M] [--block-kb K] [--ssd]
   [--no-read-ahead] [--no-write-behind] [--cpus N] [--jobs N]
-  [--cached] [--faults SPEC | --fault-plan FILE]`` -- replay trace
-  files through the buffering simulator, optionally under a seeded
-  fault-injection plan with retry/backoff recovery;
+  [--cached] [--trace-store] [--faults SPEC | --fault-plan FILE]`` --
+  replay trace files (ASCII or compiled) through the buffering
+  simulator, optionally under a seeded fault-injection plan with
+  retry/backoff recovery; ``--trace-store`` routes ASCII inputs through
+  the compile cache so repeat runs skip decode entirely;
 * ``sweep [--cache-mb LIST] [--block-kb LIST] [--read-ahead on,off]
   [--write-behind on,off] [--jobs N] ...`` -- run a configuration grid
   through the parallel sweep runner with on-disk result memoization;
@@ -34,6 +41,7 @@ same metrics as JSONL without the full profile report.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Sequence
@@ -66,7 +74,7 @@ from repro.obs import (
 )
 from repro.sim.config import CacheConfig, SimConfig, ssd_cache
 from repro.sim.faults import FaultPlan
-from repro.trace.io import read_trace_array, write_trace_array
+from repro.trace.io import read_any_trace_array, write_trace_array
 from repro.util.errors import SweepError
 from repro.util.rng import DEFAULT_SEED
 from repro.util.units import KB, MB
@@ -158,8 +166,53 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compile_trace(args: argparse.Namespace) -> int:
+    from repro.trace.store import (
+        TraceStoreCache,
+        compile_trace,
+        file_digest,
+        load_compiled,
+    )
+    from repro.util.errors import StoreFormatError
+
+    if args.output and len(args.traces) > 1:
+        print("-o/--output needs exactly one input trace", file=sys.stderr)
+        return 2
+    if args.output and args.cache:
+        print("use either -o/--output or --cache, not both", file=sys.stderr)
+        return 2
+    cache = TraceStoreCache.default() if args.cache else None
+    if cache is not None and not cache.enabled:
+        print(
+            "trace cache is disabled (REPRO_TRACE_CACHE=off)", file=sys.stderr
+        )
+        return 2
+    for trace_path in args.traces:
+        t0 = time.perf_counter()
+        try:
+            if cache is not None:
+                digest = file_digest(trace_path)
+                cache.get_or_compile_file(trace_path)
+                out = cache.path_for(digest)
+            else:
+                out = compile_trace(trace_path, args.output)
+        except (OSError, StoreFormatError) as exc:
+            print(f"{trace_path}: {exc}", file=sys.stderr)
+            return 1
+        compile_s = time.perf_counter() - t0
+        compiled = load_compiled(out, verify=args.verify)
+        ascii_bytes = os.path.getsize(trace_path)
+        print(
+            f"{trace_path} -> {out}: {compiled.header.records} records, "
+            f"{ascii_bytes} -> {out.stat().st_size} bytes, "
+            f"compiled in {compile_s:.2f} s"
+            f"{' (payload verified)' if args.verify else ''}"
+        )
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    trace = read_trace_array(args.trace)
+    trace = read_any_trace_array(args.trace)
     if len(trace) == 0:
         print("trace is empty", file=sys.stderr)
         return 1
@@ -215,7 +268,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     point = SweepPointSpec(
         workload=TraceFileSpec(
-            paths=tuple(args.traces), share_files=args.share_files
+            paths=tuple(args.traces),
+            share_files=args.share_files,
+            use_store=args.trace_store,
         ),
         config=config,
         label=f"simulate {' '.join(args.traces)}",
@@ -353,7 +408,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--scale", type=float, default=0.1)
     p_gen.add_argument("--seed", type=int, default=19910616)
 
-    p_an = sub.add_parser("analyze", help="summarize a trace file")
+    p_ct = sub.add_parser(
+        "compile-trace",
+        help="compile ASCII traces into binary columnar store bundles",
+    )
+    p_ct.add_argument("traces", nargs="+")
+    p_ct.add_argument(
+        "-o", "--output", default=None,
+        help="bundle path (single input only; default: INPUT.rpt alongside)",
+    )
+    p_ct.add_argument(
+        "--cache", action="store_true",
+        help="compile into the content-addressed trace cache "
+        "($REPRO_TRACE_CACHE, default under the result-cache dir)",
+    )
+    p_ct.add_argument(
+        "--verify", action="store_true",
+        help="re-load each bundle and check its payload digest",
+    )
+
+    p_an = sub.add_parser(
+        "analyze", help="summarize a trace file (ASCII or compiled store)"
+    )
     p_an.add_argument("trace")
 
     p_sim = sub.add_parser("simulate", help="replay traces through the cache")
@@ -378,6 +454,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cached", action="store_true",
         help="memoize the result in the on-disk result cache "
         "($REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+    p_sim.add_argument(
+        "--trace-store", action="store_true",
+        help="route ASCII traces through the compiled trace store "
+        "(decode once, memory-map on every later run; point keys and "
+        "results are identical either way)",
     )
     p_sim.add_argument(
         "--metrics-out", default=None,
@@ -528,6 +610,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "profile": _cmd_profile,
     "generate": _cmd_generate,
+    "compile-trace": _cmd_compile_trace,
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,

@@ -26,9 +26,17 @@ point's stream uniformly and sample a different one.
 Workload transport
 ------------------
 Workloads cross the process boundary as small *specs*, not as traces: a
-worker materializes (and memoizes, per process) the trace arrays from the
-spec, so a 14-point sweep ships a few hundred bytes per point instead of
-megabytes of columns.
+14-point sweep ships a few hundred bytes per point instead of megabytes
+of columns.  When the pool path runs, the parent materializes each
+distinct workload **once** and publishes its columns over
+:mod:`multiprocessing.shared_memory` (:mod:`repro.exec.shm`); workers
+attach read-only views instead of re-decoding or re-generating.  When
+shared memory is unavailable -- or a worker cannot attach -- the worker
+falls back to materializing from the spec exactly as before, through a
+small per-process LRU memo.  Either way the trace rehydration itself
+goes through the compiled trace store (:mod:`repro.trace.store`) when
+the content-addressed compile cache is enabled, so warm runs skip ASCII
+decode and workload generation entirely.
 """
 
 from __future__ import annotations
@@ -36,12 +44,20 @@ from __future__ import annotations
 import hashlib
 import os
 import time
+import warnings
+from collections import OrderedDict
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Sequence, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.keys import point_key
+from repro.exec.shm import (
+    SegmentPublisher,
+    SharedWorkload,
+    attach_workload,
+    shm_available,
+)
 from repro.obs.registry import get_registry
 from repro.sim.config import SimConfig
 from repro.sim.metrics import SimulationResult
@@ -100,13 +116,21 @@ class AppWorkloadSpec:
 class TraceFileSpec:
     """Trace files replayed as one process each (the ``simulate`` CLI).
 
-    The key material hashes the file *contents*, so editing a trace file
-    invalidates its cached results even at the same path.
+    The key material hashes the file *contents* (streamed in bounded
+    chunks -- a multi-gigabyte trace never has to fit in memory to be
+    keyed), so editing a trace file invalidates its cached results even
+    at the same path.  Compiled store files (``.rpt``) are keyed by the
+    source digest recorded in their header, so a compiled trace and the
+    ASCII file it came from produce the *same* point key and hit the
+    same result-cache entries.  ``use_store`` routes ASCII inputs
+    through the content-addressed compile cache (decode once, mmap ever
+    after); it is an execution detail and never part of the key.
     """
 
     paths: tuple[str, ...]
     share_files: bool = False
     file_id_stride: int = 1_000_000
+    use_store: bool = False
 
     def key_material(self) -> dict:
         return {
@@ -118,18 +142,37 @@ class TraceFileSpec:
 
     @staticmethod
     def _digest(path: str) -> str:
-        h = hashlib.sha256()
-        with open(path, "rb") as fh:
-            for chunk in iter(lambda: fh.read(1 << 20), b""):
-                h.update(chunk)
-        return h.hexdigest()
+        from repro.trace.store import (
+            file_digest,
+            is_store_file,
+            read_store_header,
+        )
 
-    def materialize(self) -> list[TraceArray]:
+        if is_store_file(path):
+            source = read_store_header(path).source_sha256
+            if source:
+                return source
+        return file_digest(path)
+
+    def _load(self, path: str) -> TraceArray:
+        from repro.trace.store import (
+            TraceStoreCache,
+            is_store_file,
+            load_compiled,
+        )
+
+        if is_store_file(path):
+            return load_compiled(path).trace
+        if self.use_store:
+            return TraceStoreCache.default().get_or_compile_file(path)
         from repro.trace.io import read_trace_array
 
+        return read_trace_array(path)
+
+    def materialize(self) -> list[TraceArray]:
         traces = []
         for i, path in enumerate(self.paths):
-            trace = read_trace_array(path)
+            trace = self._load(path)
             if len(trace.process_ids()) != 1:
                 raise SweepError(f"{path}: need single-process traces")
             trace = trace.with_process_id(i + 1)
@@ -145,20 +188,169 @@ class TraceFileSpec:
 
 WorkloadSpecLike = Union[AppWorkloadSpec, TraceFileSpec]
 
+
+def _memo_capacity() -> int:
+    """Workload-memo bound: ``$REPRO_WORKLOAD_MEMO`` (default 8)."""
+    env = os.environ.get("REPRO_WORKLOAD_MEMO", "").strip()
+    try:
+        return max(1, int(env)) if env else 8
+    except ValueError:
+        return 8
+
+
+class _WorkloadMemo:
+    """Small per-process LRU of generated workloads.
+
+    A long sweep over many distinct apps/scales/seeds used to grow every
+    worker's RSS without bound (each entry holds full trace columns);
+    bounding the memo keeps workers flat while still making the common
+    case -- many points replaying one workload -- a single generation.
+    """
+
+    def __init__(self) -> None:
+        self._entries: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key) -> bool:
+        return key in self._entries
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        capacity = _memo_capacity()
+        while len(self._entries) > capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
 #: Per-process memo of generated workloads, keyed by (app, scale, seed).
-#: Each pool worker generates a given workload once, no matter how many
-#: sweep points replay it.
-_WORKLOADS: dict = {}
+#: Each pool worker generates a given workload at most once per sweep,
+#: no matter how many points replay it; see :class:`_WorkloadMemo` for
+#: the bound.
+_WORKLOADS = _WorkloadMemo()
+
+
+def clear_workload_memo() -> None:
+    """Drop this process's generated-workload memo (tests, benchmarks)."""
+    _WORKLOADS.clear()
+
+
+def _workload_store_digest(app: str, scale: float, seed: int) -> str:
+    """Content key for a generated workload in the compiled trace store.
+
+    Keyed on the generation parameters plus the store format version and
+    the package-wide code tag, so editing any source invalidates stored
+    workloads exactly like it invalidates cached results.
+    """
+    from repro.exec.keys import canonical_json, code_version_tag
+    from repro.trace.store import STORE_VERSION
+
+    material = {
+        "kind": "generated",
+        "app": app,
+        "scale": scale,
+        "seed": seed,
+        "store_version": STORE_VERSION,
+        "code_version": code_version_tag(),
+    }
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()
+
+
+def _workload_from_store(app: str, scale: float, seed: int, compiled):
+    """Rebuild a :class:`GeneratedWorkload` from a stored bundle."""
+    from repro.trace.record import CommentRecord
+    from repro.workloads.base import GeneratedWorkload
+    from repro.workloads.catalog import paper_row
+
+    meta = compiled.header.meta.get("workload")
+    if not isinstance(meta, dict):
+        raise ValueError("bundle carries no workload metadata")
+    return GeneratedWorkload(
+        name=meta["name"],
+        trace=compiled.trace,
+        data_size_bytes=int(meta["data_size_bytes"]),
+        comments=[CommentRecord(text) for text in meta["comments"]],
+        cpu_seconds=float(meta["cpu_seconds"]),
+        wall_seconds=float(meta["wall_seconds"]),
+        scale=float(meta["scale"]),
+        paper=paper_row(app),
+    )
+
+
+def _stored_generated_workload(app: str, scale: float, seed: int):
+    """Generated workload via the compile cache (None on any miss/error).
+
+    On a hit the trace columns are memory-mapped out of the bundle -- no
+    generation, no decode.  On a miss the workload is generated once and
+    stored for every later process and run.  Any store trouble degrades
+    to plain generation; caching must never break a sweep.
+    """
+    from repro.trace.store import TraceStoreCache
+    from repro.workloads.base import generate_workload
+
+    cache = TraceStoreCache.default()
+    if not cache.enabled:
+        return None
+    digest = _workload_store_digest(app, scale, seed)
+    hit = cache.load(digest)
+    if hit is not None:
+        try:
+            return _workload_from_store(app, scale, seed, hit)
+        except (KeyError, TypeError, ValueError) as exc:
+            warnings.warn(
+                f"stored workload {digest[:16]}... is unusable ({exc}); "
+                "regenerating",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    workload = generate_workload(app, scale=scale, seed=seed)
+    cache.store(
+        digest,
+        workload.trace,
+        source={
+            "kind": "generated",
+            "sha256": digest,
+            "app": app,
+            "scale": scale,
+            "seed": seed,
+        },
+        meta={
+            "workload": {
+                "name": workload.name,
+                "scale": workload.scale,
+                "data_size_bytes": workload.data_size_bytes,
+                "cpu_seconds": workload.cpu_seconds,
+                "wall_seconds": workload.wall_seconds,
+                "comments": [c.text for c in workload.comments],
+            }
+        },
+    )
+    return workload
 
 
 def generated_workload(app: str, scale: float, seed: int):
-    """Memoized :func:`generate_workload` (per process)."""
-    from repro.workloads.base import generate_workload
-
+    """Memoized :func:`generate_workload` (per process, store-backed)."""
     key = (app, scale, seed)
-    if key not in _WORKLOADS:
-        _WORKLOADS[key] = generate_workload(app, scale=scale, seed=seed)
-    return _WORKLOADS[key]
+    hit = _WORKLOADS.get(key)
+    if hit is not None:
+        return hit
+    workload = _stored_generated_workload(app, scale, seed)
+    if workload is None:
+        from repro.workloads.base import generate_workload
+
+        workload = generate_workload(app, scale=scale, seed=seed)
+    _WORKLOADS.put(key, workload)
+    return workload
 
 
 # -- sweep points ------------------------------------------------------------
@@ -199,6 +391,29 @@ def _simulate_point(point: SweepPointSpec, sim_seed: int) -> SimulationResult:
     return simulate(traces, point.config.with_seed(sim_seed))
 
 
+def _simulate_point_shared(
+    point: SweepPointSpec,
+    sim_seed: int,
+    shared: SharedWorkload | None,
+) -> SimulationResult:
+    """Pool-worker entry: attach the published workload, else materialize.
+
+    The attach is strictly an input transport: the views are read-only
+    and byte-identical to what ``materialize()`` builds, so results are
+    bit-identical either way -- a failed attach silently degrades to the
+    per-worker path rather than failing the point.
+    """
+    traces = None
+    if shared is not None:
+        try:
+            traces = attach_workload(shared)
+        except Exception:
+            traces = None
+    if traces is None:
+        traces = point.workload.materialize()
+    return simulate(traces, point.config.with_seed(sim_seed))
+
+
 # -- the runner --------------------------------------------------------------
 
 
@@ -211,11 +426,18 @@ class SweepRunner:
     disables memoization.  ``seed=None`` (the default) simulates every
     point with its config's own seed; an int overrides all of them with
     one shared stream (see the module docstring).
+
+    ``shared_memory=None`` (the default) publishes each distinct
+    workload's columns over shared memory for pool runs whenever the
+    platform supports it (``$REPRO_SHM=off`` disables); ``True``/``False``
+    force it.  The transport never changes results -- workers that
+    cannot attach materialize from their spec as before.
     """
 
     jobs: int | None = 1
     cache: ResultCache | None = None
     seed: int | None = None
+    shared_memory: bool | None = None
     #: points simulated (not served from cache) over this runner's lifetime
     simulated: int = field(default=0, init=False)
     #: points served from the result cache
@@ -304,6 +526,38 @@ class SweepRunner:
                 f"sweep point {point.label or point.workload!r} failed: {exc}"
             ) from exc
 
+    def _shm_enabled(self) -> bool:
+        if self.shared_memory is False:
+            return False
+        return shm_available()
+
+    def _publish_workloads(
+        self, points: list[SweepPointSpec], todo: list[int]
+    ) -> tuple[SegmentPublisher | None, dict]:
+        """Materialize each distinct todo workload once; publish to shm.
+
+        Best-effort by design: a workload whose materialization or
+        publish fails is simply not shared (its workers materialize and
+        report errors exactly as the per-worker path would), so the
+        fan-out can never turn a runnable sweep into a failing one or
+        mask a point's real error with a transport error.
+        """
+        if not self._shm_enabled():
+            return None, {}
+        publisher = SegmentPublisher()
+        refs: dict = {}
+        for i in todo:
+            spec = points[i].workload
+            if spec in refs:
+                continue
+            try:
+                traces = spec.materialize()
+            except Exception:
+                refs[spec] = None
+                continue
+            refs[spec] = publisher.publish(traces)
+        return publisher, refs
+
     def _run_pool(
         self,
         points: list[SweepPointSpec],
@@ -313,10 +567,37 @@ class SweepRunner:
         results: list,
         elapsed: list[float],
     ) -> None:
+        publisher, refs = self._publish_workloads(points, todo)
+        try:
+            self._drive_pool(
+                points, seeds, todo, n_jobs, results, elapsed, refs
+            )
+        finally:
+            # Success, failure and Ctrl-C all unlink every segment;
+            # workers' existing attachments stay valid until pool exit.
+            if publisher is not None:
+                publisher.close()
+
+    def _drive_pool(
+        self,
+        points: list[SweepPointSpec],
+        seeds: list[int],
+        todo: list[int],
+        n_jobs: int,
+        results: list,
+        elapsed: list[float],
+        refs: dict,
+    ) -> None:
         t0 = time.perf_counter()
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             futures = {
-                pool.submit(_simulate_point, points[i], seeds[i]): i for i in todo
+                pool.submit(
+                    _simulate_point_shared,
+                    points[i],
+                    seeds[i],
+                    refs.get(points[i].workload),
+                ): i
+                for i in todo
             }
             # Fail fast: the first broken point cancels everything still
             # queued instead of letting the pool grind on (or hang).

@@ -1,0 +1,221 @@
+"""Zero-copy workload fan-out over POSIX shared memory.
+
+A parallel sweep ships *specs* to its workers, and before this module
+every worker re-materialized each workload from its spec -- re-decoding
+the same ASCII trace or re-generating the same synthetic workload once
+per process.  Here the parent materializes each distinct workload's
+columns **once**, publishes them into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment, and workers
+attach read-only :class:`~repro.trace.array.TraceArray` views straight
+onto the segment: no decode, no generation, no copy -- just a map.
+
+Layout: one segment per distinct workload, holding every column of
+every trace of that workload back to back, 64-byte aligned.  The
+picklable :class:`SharedWorkload` ref (segment name + per-column
+dtype/offset/count) is what crosses the process boundary -- a few
+hundred bytes, like the specs it rides along with.
+
+Lifecycle
+---------
+The parent's :class:`SegmentPublisher` owns every segment it creates and
+``close()`` (idempotent, exception-safe) both closes and unlinks them;
+the sweep runner calls it in a ``finally`` so success, failure and
+Ctrl-C all clean up.  Workers attach by name and deliberately *keep*
+their attachment (and its arrays) cached for the life of the process:
+POSIX keeps the memory alive until the last map goes away, so the
+parent unlinking early never invalidates a worker's view, and pool
+shutdown releases everything.  Pool workers share the parent's
+``multiprocessing`` resource tracker, so a worker's attach-time
+register is a no-op against the parent's existing registration and the
+parent's unlink remains the single point of cleanup -- workers must
+*not* unregister segments they only borrowed.
+
+Every failure path degrades: if shared memory is unavailable (platform,
+``$REPRO_SHM=off``, ``/dev/shm`` full) or a worker cannot attach, the
+worker falls back to materializing from the spec exactly as before --
+the fan-out is a transport optimization and must never change results
+or turn a runnable sweep into a failing one.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs.registry import get_registry
+from repro.trace.array import _FIELDS, TraceArray
+
+#: Column payload alignment inside a segment.
+_ALIGN = 64
+
+#: Values of ``$REPRO_SHM`` that disable the shared-memory path.
+_OFF_VALUES = {"0", "off", "no", "none", "false", "disabled"}
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def shm_available() -> bool:
+    """True when the shared-memory fan-out can be used at all."""
+    if os.environ.get("REPRO_SHM", "").strip().lower() in _OFF_VALUES:
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class SharedColumn:
+    """One column's location inside a segment."""
+
+    name: str
+    dtype: str
+    offset: int
+    count: int
+
+
+@dataclass(frozen=True)
+class SharedWorkload:
+    """Picklable handle to one workload published in shared memory."""
+
+    segment: str
+    #: one tuple of :class:`SharedColumn` per trace of the workload
+    traces: tuple
+    nbytes: int
+
+
+class SegmentPublisher:
+    """Parent-side owner of every segment one sweep publishes.
+
+    ``publish()`` lays a workload's traces into a fresh segment and
+    returns the :class:`SharedWorkload` ref to ship to workers;
+    ``close()`` tears every segment down.  Publish failures return None
+    (with a counter and a warning) so the caller simply skips sharing
+    that workload.
+    """
+
+    def __init__(self) -> None:
+        self._segments: list = []
+
+    @property
+    def open_segments(self) -> int:
+        return len(self._segments)
+
+    def publish(self, traces: Sequence[TraceArray]) -> SharedWorkload | None:
+        reg = get_registry()
+        try:
+            from multiprocessing import shared_memory
+        except ImportError:
+            return None
+        layout: list[tuple] = []
+        cursor = 0
+        for trace in traces:
+            cols = []
+            for name, _ in _FIELDS:
+                col = getattr(trace, name)
+                cursor = _align(cursor)
+                cols.append(
+                    SharedColumn(
+                        name=name,
+                        dtype=col.dtype.str,
+                        offset=cursor,
+                        count=len(col),
+                    )
+                )
+                cursor += col.nbytes
+            layout.append(tuple(cols))
+        total = max(1, cursor)
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=total)
+            for trace, cols in zip(traces, layout):
+                for ref in cols:
+                    dst = np.ndarray(
+                        (ref.count,),
+                        dtype=np.dtype(ref.dtype),
+                        buffer=shm.buf,
+                        offset=ref.offset,
+                    )
+                    dst[:] = getattr(trace, ref.name)
+        except OSError as exc:
+            reg.counter("exec.shm.publish_errors").inc()
+            warnings.warn(
+                f"shared-memory publish failed ({exc}); workers will "
+                "materialize this workload from its spec",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        self._segments.append(shm)
+        reg.counter("exec.shm.segments_opened").inc()
+        reg.counter("exec.shm.bytes_published").inc(total)
+        reg.counter("exec.shm.workloads_published").inc()
+        return SharedWorkload(
+            segment=shm.name, traces=tuple(layout), nbytes=total
+        )
+
+    def close(self) -> None:
+        """Close and unlink every published segment (idempotent)."""
+        reg = get_registry()
+        segments, self._segments = self._segments, []
+        for shm in segments:
+            for step in (shm.close, shm.unlink):
+                try:
+                    step()
+                except (OSError, FileNotFoundError):
+                    pass
+            reg.counter("exec.shm.segments_closed").inc()
+
+    def __enter__(self) -> "SegmentPublisher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Segment-name -> (SharedMemory, [TraceArray, ...]); one attachment per
+#: segment for the life of the worker process (see the module docstring).
+_ATTACHED: dict = {}
+
+
+def attach_workload(ref: SharedWorkload) -> list[TraceArray]:
+    """Attach to a published workload and return read-only trace views.
+
+    Raises on any failure (missing segment, size mismatch); callers are
+    expected to fall back to materializing from the spec.
+    """
+    cached = _ATTACHED.get(ref.segment)
+    if cached is not None:
+        return cached[1]
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=ref.segment)
+    if shm.size < ref.nbytes:
+        shm.close()
+        raise ValueError(
+            f"segment {ref.segment}: {shm.size} bytes mapped, "
+            f"{ref.nbytes} expected"
+        )
+    traces: list[TraceArray] = []
+    for cols in ref.traces:
+        arrays = {}
+        for col in cols:
+            view = np.ndarray(
+                (col.count,),
+                dtype=np.dtype(col.dtype),
+                buffer=shm.buf,
+                offset=col.offset,
+            )
+            view.flags.writeable = False
+            arrays[col.name] = view
+        traces.append(TraceArray(**arrays))
+    _ATTACHED[ref.segment] = (shm, traces)
+    return traces

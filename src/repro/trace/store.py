@@ -1,0 +1,541 @@
+"""Binary columnar trace store: compiled traces that rehydrate for free.
+
+The ASCII trace format stays the canonical interchange (it is what the
+paper defines and what every tool reads), but replaying it means parsing
+and reconstructing every line again on every run.  This module compiles
+a trace -- any ASCII file, or a generated workload's columns -- into an
+on-disk columnar bundle (suffix ``.rpt``) holding one raw little-endian
+NumPy array per :class:`~repro.trace.array.TraceArray` column, so a
+later run memory-maps the columns back with **zero per-record work**.
+
+File layout (all integers little-endian)::
+
+    offset 0   8 bytes   magic  b"RPTSTOR1"
+    offset 8   8 bytes   header length H (uint64)
+    offset 16  H bytes   header JSON (utf-8)
+    ...        padding   zero bytes to the next 64-byte boundary
+    ...                  column payloads, each 64-byte aligned
+
+The JSON header carries the format version, the record count, the exact
+dtype/offset/size of every column, a SHA-256 of the column payload, a
+description of the *source* (the ASCII file's content digest, or the
+generation parameters of a synthetic workload), a per-file table
+(records/bytes per file id -- the Table-1 shape of the trace) and a
+free-form ``meta`` dict.  64-byte alignment lets every column be viewed
+directly out of one ``np.memmap`` with no copy and no alignment faults.
+
+Versioning: readers accept exactly :data:`STORE_VERSION`.  Any change to
+the column schema or layout must bump it; old bundles are then rejected
+with :class:`~repro.util.errors.StoreFormatError` (and the
+content-addressed cache simply recompiles, because the version is part
+of the cache key material).
+
+The content-addressed compile cache
+-----------------------------------
+:class:`TraceStoreCache` keys compiled bundles by the SHA-256 of their
+*source* (ASCII file contents, or canonical generation parameters), so
+the second and every later run of an experiment skips ASCII decode --
+and synthetic-workload generation -- entirely.  The root directory is
+``$REPRO_TRACE_CACHE`` when set (``off``/``0``/``none`` disables the
+cache), defaulting to ``trace-store/`` under the result-cache dir
+(``$REPRO_CACHE_DIR`` or ``~/.cache/repro/results``).  Like the result
+cache, a corrupt entry is surfaced (counter + warning) but only ever
+costs a recompile, never a wrong trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.registry import get_registry
+from repro.trace.array import _FIELDS, TraceArray
+from repro.util.errors import StoreFormatError
+
+#: Magic bytes identifying a compiled trace store file.
+STORE_MAGIC = b"RPTSTOR1"
+
+#: Format version readers accept; bump on any layout or schema change.
+STORE_VERSION = 1
+
+#: Conventional suffix for compiled bundles.
+STORE_SUFFIX = ".rpt"
+
+#: Column payload alignment (bytes).  64 covers every column dtype and
+#: keeps each column cache-line aligned in the mapping.
+_ALIGN = 64
+
+#: Errors a *cache* lookup degrades on (vs. propagating): filesystem
+#: trouble plus every way a bundle can be malformed.
+_CACHE_READ_ERRORS = (OSError, ValueError, KeyError, StoreFormatError)
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def file_digest(path: str | Path, *, chunk_bytes: int = 1 << 20) -> str:
+    """SHA-256 of a file's contents, streamed in bounded chunks.
+
+    Shared by the sweep runner's cache keys and the compile cache, so a
+    multi-gigabyte trace never has to fit in memory just to be hashed.
+    """
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for piece in iter(lambda: fh.read(chunk_bytes), b""):
+            h.update(piece)
+    return h.hexdigest()
+
+
+# -- header ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreHeader:
+    """Decoded header of one compiled bundle."""
+
+    version: int
+    records: int
+    #: where the columns came from: ``{"kind": "ascii", "sha256": ...}``
+    #: or ``{"kind": "generated", "sha256": ..., "app": ..., ...}``
+    source: dict
+    #: per-column layout: ``{"name", "dtype", "offset", "nbytes"}``
+    columns: tuple
+    payload_sha256: str
+    #: absolute file offset where the payload region starts / ends
+    payload_start: int
+    payload_end: int
+    #: per-file table metadata: ``{"id", "records", "bytes"}`` rows
+    files: tuple
+    #: free-form extras (e.g. generated-workload metadata)
+    meta: dict
+
+    @property
+    def source_sha256(self) -> str:
+        return self.source.get("sha256", "")
+
+
+def _expected_columns() -> dict[str, str]:
+    """name -> little-endian dtype string for the current schema."""
+    return {
+        name: np.dtype(dtype).newbyteorder("<").str for name, dtype in _FIELDS
+    }
+
+
+def _file_table(trace: TraceArray) -> list[dict]:
+    """Per-file record/byte counts (the bundle's Table-1 metadata)."""
+    if len(trace) == 0:
+        return []
+    ids, counts = np.unique(trace.file_id, return_counts=True)
+    sums = {
+        int(fid): int(trace.length[trace.file_id == fid].sum()) for fid in ids
+    }
+    return [
+        {"id": int(fid), "records": int(n), "bytes": sums[int(fid)]}
+        for fid, n in zip(ids, counts)
+    ]
+
+
+# -- writing -----------------------------------------------------------------
+
+
+def write_store(
+    path: str | Path,
+    trace: TraceArray,
+    *,
+    source: dict,
+    meta: dict | None = None,
+) -> Path:
+    """Write ``trace`` as a compiled bundle at ``path`` (atomically).
+
+    ``source`` identifies what was compiled (see :class:`StoreHeader`);
+    it must carry a ``sha256`` so loads can be keyed back to the
+    original.  Returns the written path.
+    """
+    path = Path(path)
+    expected = _expected_columns()
+    layout: list[dict] = []
+    payloads: list[bytes] = []
+    cursor = 0
+    for name, _ in _FIELDS:
+        col = np.ascontiguousarray(getattr(trace, name))
+        raw = col.astype(col.dtype.newbyteorder("<"), copy=False).tobytes()
+        cursor = _align(cursor)
+        layout.append(
+            {
+                "name": name,
+                "dtype": expected[name],
+                "offset": cursor,
+                "nbytes": len(raw),
+            }
+        )
+        payloads.append(raw)
+        cursor += len(raw)
+
+    payload_digest = hashlib.sha256()
+    pieces: list[bytes] = []
+    pos = 0
+    for entry, raw in zip(layout, payloads):
+        if entry["offset"] > pos:
+            pieces.append(b"\0" * (entry["offset"] - pos))
+            pos = entry["offset"]
+        pieces.append(raw)
+        pos += len(raw)
+    payload = b"".join(pieces)
+    payload_digest.update(payload)
+
+    header = {
+        "format": "repro-trace-store",
+        "version": STORE_VERSION,
+        "records": len(trace),
+        "source": dict(source),
+        "columns": layout,
+        "payload_sha256": payload_digest.hexdigest(),
+        "files": _file_table(trace),
+        "meta": dict(meta or {}),
+    }
+    header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+    prefix_len = len(STORE_MAGIC) + 8 + len(header_bytes)
+    payload_start = _align(prefix_len)
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(STORE_MAGIC)
+            fh.write(len(header_bytes).to_bytes(8, "little"))
+            fh.write(header_bytes)
+            fh.write(b"\0" * (payload_start - prefix_len))
+            fh.write(payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def compile_trace(
+    path: str | Path,
+    out: str | Path | None = None,
+    *,
+    meta: dict | None = None,
+) -> Path:
+    """Compile an ASCII trace file into a bundle.
+
+    ``out`` defaults to the input path with :data:`STORE_SUFFIX`
+    appended (``venus.trace`` -> ``venus.trace.rpt``).  The header's
+    source records the ASCII file's streamed content digest, so the
+    bundle produces the *same* sweep-point keys as the file it came
+    from.  Returns the bundle path.
+    """
+    from repro.trace.io import read_trace_array
+
+    path = Path(path)
+    if is_store_file(path):
+        raise StoreFormatError(f"{path} is already a compiled store file")
+    out = Path(out) if out is not None else path.with_name(path.name + STORE_SUFFIX)
+    trace = read_trace_array(path)
+    source = {
+        "kind": "ascii",
+        "sha256": file_digest(path),
+        "name": path.name,
+    }
+    return write_store(out, trace, source=source, meta=meta)
+
+
+# -- loading -----------------------------------------------------------------
+
+
+@dataclass
+class CompiledTrace:
+    """A loaded bundle: memory-mapped columns plus the decoded header."""
+
+    trace: TraceArray
+    header: StoreHeader
+    path: Path
+
+    @property
+    def bytes_mapped(self) -> int:
+        return self.header.payload_end - self.header.payload_start
+
+
+def is_store_file(path: str | Path) -> bool:
+    """True when ``path`` exists and starts with the store magic."""
+    try:
+        with open(path, "rb") as fh:
+            return fh.read(len(STORE_MAGIC)) == STORE_MAGIC
+    except OSError:
+        return False
+
+
+def read_store_header(path: str | Path) -> StoreHeader:
+    """Decode and validate only the header of a bundle (no column I/O)."""
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+        with open(path, "rb") as fh:
+            magic = fh.read(len(STORE_MAGIC))
+            if magic != STORE_MAGIC:
+                raise StoreFormatError(
+                    f"{path}: bad magic {magic!r} (not a compiled trace store)"
+                )
+            raw_len = fh.read(8)
+            if len(raw_len) != 8:
+                raise StoreFormatError(f"{path}: truncated header length")
+            header_len = int.from_bytes(raw_len, "little")
+            if header_len <= 0 or header_len > size:
+                raise StoreFormatError(
+                    f"{path}: header length {header_len} out of range"
+                )
+            header_bytes = fh.read(header_len)
+            if len(header_bytes) != header_len:
+                raise StoreFormatError(f"{path}: truncated header")
+    except OSError as exc:
+        raise StoreFormatError(f"{path}: unreadable ({exc})") from exc
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise StoreFormatError(f"{path}: header is not valid JSON") from exc
+
+    version = header.get("version")
+    if version != STORE_VERSION:
+        raise StoreFormatError(
+            f"{path}: store version {version!r} unsupported "
+            f"(this build reads version {STORE_VERSION})"
+        )
+    records = header.get("records")
+    columns = header.get("columns")
+    if not isinstance(records, int) or not isinstance(columns, list):
+        raise StoreFormatError(f"{path}: malformed header fields")
+
+    expected = _expected_columns()
+    by_name = {c.get("name"): c for c in columns}
+    if set(by_name) != set(expected):
+        raise StoreFormatError(
+            f"{path}: column set {sorted(by_name)} does not match the "
+            f"current schema {sorted(expected)}"
+        )
+    payload_start = _align(len(STORE_MAGIC) + 8 + header_len)
+    payload_end = payload_start
+    for name, dtype_str in expected.items():
+        entry = by_name[name]
+        if entry.get("dtype") != dtype_str:
+            raise StoreFormatError(
+                f"{path}: column {name!r} has dtype {entry.get('dtype')!r}, "
+                f"expected {dtype_str!r}"
+            )
+        nbytes = entry.get("nbytes")
+        itemsize = np.dtype(dtype_str).itemsize
+        if nbytes != records * itemsize:
+            raise StoreFormatError(
+                f"{path}: column {name!r} holds {nbytes} bytes, expected "
+                f"{records} records x {itemsize} bytes"
+            )
+        end = payload_start + entry.get("offset", -1) + nbytes
+        payload_end = max(payload_end, end)
+    if size < payload_end:
+        raise StoreFormatError(
+            f"{path}: truncated payload ({size} bytes on disk, "
+            f"{payload_end} required)"
+        )
+    return StoreHeader(
+        version=version,
+        records=records,
+        source=dict(header.get("source") or {}),
+        columns=tuple(columns),
+        payload_sha256=str(header.get("payload_sha256", "")),
+        payload_start=payload_start,
+        payload_end=payload_end,
+        files=tuple(header.get("files") or ()),
+        meta=dict(header.get("meta") or {}),
+    )
+
+
+def load_compiled(
+    path: str | Path, *, verify: bool = False, mmap: bool = True
+) -> CompiledTrace:
+    """Load a bundle as memory-mapped, read-only columns.
+
+    No per-record work happens: each column is a direct view into the
+    file mapping.  ``verify=True`` additionally hashes the payload
+    region and rejects the bundle on mismatch -- the always-on checks
+    are the structural ones (magic, version, schema, sizes), which catch
+    truncation; byte-level verification costs a full read, so it is
+    opt-in.  ``mmap=False`` reads the payload into memory instead (for
+    callers about to copy the columns anyway, e.g. short-lived tools on
+    filesystems where mappings are expensive).
+    """
+    path = Path(path)
+    header = read_store_header(path)
+    reg = get_registry()
+    if mmap:
+        buf = np.memmap(path, dtype=np.uint8, mode="r")
+    else:
+        buf = np.frombuffer(path.read_bytes(), dtype=np.uint8)
+    if verify:
+        digest = hashlib.sha256(
+            buf[header.payload_start : header.payload_end]
+        ).hexdigest()
+        if digest != header.payload_sha256:
+            raise StoreFormatError(
+                f"{path}: payload digest mismatch "
+                f"({digest[:16]}... != {header.payload_sha256[:16]}...)"
+            )
+    cols: dict[str, np.ndarray] = {}
+    for entry in header.columns:
+        start = header.payload_start + entry["offset"]
+        view = buf[start : start + entry["nbytes"]].view(
+            np.dtype(entry["dtype"])
+        )
+        view.flags.writeable = False
+        cols[entry["name"]] = view
+    trace = TraceArray(**cols)
+    reg.counter("trace.store.loads").inc()
+    reg.counter("trace.store.bytes_mapped").inc(
+        header.payload_end - header.payload_start
+    )
+    return CompiledTrace(trace=trace, header=header, path=path)
+
+
+# -- the content-addressed compile cache -------------------------------------
+
+_OFF_VALUES = {"0", "off", "no", "none", "false", "disabled"}
+
+
+def store_cache_root() -> Path | None:
+    """Resolve the compile-cache root, or None when disabled.
+
+    ``$REPRO_TRACE_CACHE`` wins (set it to ``off``/``0`` to disable);
+    the default lives under the result-cache dir so one ``rm -rf``
+    clears both.
+    """
+    env = os.environ.get("REPRO_TRACE_CACHE", "").strip()
+    if env:
+        return None if env.lower() in _OFF_VALUES else Path(env)
+    base = os.environ.get("REPRO_CACHE_DIR")
+    if base:
+        return Path(base) / "trace-store"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = Path(xdg) if xdg else Path.home() / ".cache"
+    return root / "repro" / "results" / "trace-store"
+
+
+@dataclass
+class TraceStoreCache:
+    """Compiled bundles addressed by source-content digest.
+
+    Layout mirrors the result cache: ``<root>/<digest[:2]>/<digest>.rpt``.
+    ``root=None`` disables every operation (gets miss, puts no-op), so
+    callers never need to branch on whether caching is on.
+    """
+
+    root: Path | None
+
+    @classmethod
+    def default(cls) -> "TraceStoreCache":
+        return cls(root=store_cache_root())
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    def path_for(self, digest: str) -> Path:
+        if self.root is None:
+            raise ValueError("trace store cache is disabled")
+        return self.root / digest[:2] / f"{digest}{STORE_SUFFIX}"
+
+    def load(self, digest: str) -> CompiledTrace | None:
+        """The cached bundle for ``digest``, or None.
+
+        A present-but-unusable bundle counts as a miss (plus a warning
+        and a ``trace.store.corrupt`` counter): cache rot costs a
+        recompile, never a wrong trace.  The header's source digest is
+        cross-checked against the requested key so a renamed file can
+        never alias another trace.
+        """
+        reg = get_registry()
+        if self.root is None:
+            reg.counter("trace.store.compile_misses").inc()
+            return None
+        path = self.path_for(digest)
+        if not path.exists():
+            reg.counter("trace.store.compile_misses").inc()
+            return None
+        try:
+            compiled = load_compiled(path)
+            if compiled.header.source_sha256 != digest:
+                raise StoreFormatError(
+                    f"{path}: source digest mismatch (cache key {digest[:16]}...)"
+                )
+        except _CACHE_READ_ERRORS as exc:
+            reg.counter("trace.store.compile_misses").inc()
+            reg.counter("trace.store.corrupt").inc()
+            warnings.warn(
+                f"compiled trace cache entry {path} is unusable "
+                f"({type(exc).__name__}: {exc}); recompiling",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        reg.counter("trace.store.compile_hits").inc()
+        return compiled
+
+    def store(
+        self,
+        digest: str,
+        trace: TraceArray,
+        *,
+        source: dict,
+        meta: dict | None = None,
+    ) -> Path | None:
+        """Write a bundle under ``digest``; degrades to a warning on error."""
+        if self.root is None:
+            return None
+        path = self.path_for(digest)
+        try:
+            write_store(path, trace, source=source, meta=meta)
+        except OSError as exc:
+            get_registry().counter("trace.store.store_errors").inc()
+            warnings.warn(
+                f"compiled trace store failed at {path} "
+                f"({type(exc).__name__}: {exc})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return None
+        get_registry().counter("trace.store.compiles").inc()
+        return path
+
+    def get_or_compile_file(self, path: str | Path) -> TraceArray:
+        """The columns of an ASCII trace, via the compile cache.
+
+        First use decodes and compiles; every later use memory-maps.
+        Already-compiled inputs load directly.  Any cache trouble falls
+        back to plain ASCII decode.
+        """
+        from repro.trace.io import read_trace_array
+
+        path = Path(path)
+        if is_store_file(path):
+            return load_compiled(path).trace
+        digest = file_digest(path)
+        hit = self.load(digest)
+        if hit is not None:
+            return hit.trace
+        trace = read_trace_array(path)
+        self.store(
+            digest,
+            trace,
+            source={"kind": "ascii", "sha256": digest, "name": path.name},
+        )
+        return trace

@@ -101,4 +101,11 @@ def test_committed_baseline_is_loadable():
     baseline = load_baseline(root / "benchmarks" / "perf" / "baseline.json")
     assert baseline["schema"] == SCHEMA
     assert baseline["quick"] is True
-    assert set(baseline["benchmarks"]) == {"engine", "cache", "decode", "fig8"}
+    assert set(baseline["benchmarks"]) == {
+        "engine",
+        "cache",
+        "decode",
+        "store",
+        "fig8",
+        "fig8_warm",
+    }

@@ -11,6 +11,7 @@ from repro.exec.runner import (
     AppWorkloadSpec,
     SweepPointSpec,
     SweepRunner,
+    TraceFileSpec,
     resolve_jobs,
 )
 from repro.sim.config import CacheConfig, SimConfig
@@ -166,3 +167,102 @@ class TestCachedRuns:
         results = runner.run(points)
         assert [r.cached for r in results] == [True, False]
         assert runner.simulated == 1 and runner.cache_hits == 1
+
+
+class TestWorkloadMemo:
+    """The per-process memo is a bounded LRU, not an unbounded dict."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self, monkeypatch):
+        from repro.exec import runner
+
+        # Isolate from the trace-store cache so every miss really
+        # generates, and start from an empty memo.
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        monkeypatch.setenv("REPRO_WORKLOAD_MEMO", "2")
+        runner.clear_workload_memo()
+        yield
+        runner.clear_workload_memo()
+
+    def test_capacity_bound_evicts_oldest(self):
+        from repro.exec import runner
+
+        for seed in (1, 2, 3):
+            runner.generated_workload("venus", SCALE, seed)
+        assert len(runner._WORKLOADS) == 2
+        assert ("venus", SCALE, 1) not in runner._WORKLOADS
+        assert ("venus", SCALE, 3) in runner._WORKLOADS
+
+    def test_lru_touch_protects_entry(self):
+        from repro.exec import runner
+
+        runner.generated_workload("venus", SCALE, 1)
+        runner.generated_workload("venus", SCALE, 2)
+        runner.generated_workload("venus", SCALE, 1)  # touch 1
+        runner.generated_workload("venus", SCALE, 3)  # evicts 2
+        assert ("venus", SCALE, 1) in runner._WORKLOADS
+        assert ("venus", SCALE, 2) not in runner._WORKLOADS
+
+    def test_hit_returns_same_object(self):
+        from repro.exec import runner
+
+        first = runner.generated_workload("venus", SCALE, 1)
+        assert runner.generated_workload("venus", SCALE, 1) is first
+
+
+class TestStoreKeyInvariance:
+    """Compiled bundles and the store cache never change point keys."""
+
+    def _single_process_trace_file(self, tmp_path):
+        import numpy as np
+
+        from repro.exec.runner import generated_workload
+        from repro.trace.io import write_trace_array
+
+        trace = generated_workload("venus", SCALE, 42).trace
+        pid = int(np.asarray(trace.process_ids())[0])
+        path = tmp_path / "p1.trace"
+        write_trace_array(path, trace.for_process(pid))
+        return path
+
+    def test_compiled_trace_keys_like_its_ascii_source(self, tmp_path):
+        from repro.trace.store import compile_trace
+
+        ascii_path = self._single_process_trace_file(tmp_path)
+        bundle = compile_trace(ascii_path)
+        ascii_spec = TraceFileSpec(paths=(str(ascii_path),))
+        store_spec = TraceFileSpec(paths=(str(bundle),))
+        assert ascii_spec.key_material() == store_spec.key_material()
+
+    def test_use_store_not_in_key_but_same_columns(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+        ascii_path = self._single_process_trace_file(tmp_path)
+        plain = TraceFileSpec(paths=(str(ascii_path),))
+        routed = TraceFileSpec(paths=(str(ascii_path),), use_store=True)
+        assert plain.key_material() == routed.key_material()
+        for a, b in zip(plain.materialize(), routed.materialize()):
+            for name, col in a.columns().items():
+                assert np.array_equal(col, getattr(b, name)), name
+
+    def test_generated_workload_store_round_trip(self, tmp_path, monkeypatch):
+        import numpy as np
+
+        from repro.exec import runner
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+        runner.clear_workload_memo()
+        generated = runner.generated_workload("venus", SCALE, 7)
+        runner.clear_workload_memo()
+        rehydrated = runner.generated_workload("venus", SCALE, 7)
+        runner.clear_workload_memo()
+        assert rehydrated is not generated
+        assert rehydrated.name == generated.name
+        assert rehydrated.data_size_bytes == generated.data_size_bytes
+        assert rehydrated.cpu_seconds == generated.cpu_seconds
+        assert [c.text for c in rehydrated.comments] == [
+            c.text for c in generated.comments
+        ]
+        for name, col in generated.trace.columns().items():
+            assert np.array_equal(col, getattr(rehydrated.trace, name)), name

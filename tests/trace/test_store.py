@@ -1,0 +1,252 @@
+"""Compiled trace store: round trips, rejection paths, compile cache.
+
+The store's contract is bit-identity: whatever columns go in come back
+byte-for-byte (same values, same dtypes), whether written directly,
+compiled from ASCII, or served from the content-addressed cache -- and
+anything less than a structurally sound bundle is rejected, never
+half-loaded.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.trace import store
+from repro.trace.array import TraceArray
+from repro.trace.io import read_any_trace_array, read_trace_array, write_trace_array
+from repro.util.errors import StoreFormatError
+from repro.workloads.base import generate_workload
+
+SEED = 19910616
+
+
+@pytest.fixture()
+def venus_trace():
+    return generate_workload("venus", scale=0.05, seed=SEED).trace
+
+
+@pytest.fixture()
+def ascii_path(tmp_path, venus_trace):
+    path = tmp_path / "venus.trace"
+    write_trace_array(path, venus_trace, omit_operation_ids=True)
+    return path
+
+
+def assert_columns_identical(a: TraceArray, b: TraceArray) -> None:
+    assert len(a) == len(b)
+    for name, col in a.columns().items():
+        other = getattr(b, name)
+        assert col.dtype == other.dtype, name
+        assert np.array_equal(col, other), name
+
+
+class TestRoundTrip:
+    def test_write_load_bit_identical(self, tmp_path, venus_trace):
+        path = store.write_store(
+            tmp_path / "venus.rpt",
+            venus_trace,
+            source={"kind": "ascii", "sha256": "x" * 64},
+        )
+        compiled = store.load_compiled(path, verify=True)
+        assert_columns_identical(venus_trace, compiled.trace)
+
+    def test_compile_matches_ascii_decode(self, ascii_path):
+        bundle = store.compile_trace(ascii_path)
+        assert bundle.name == "venus.trace.rpt"
+        compiled = store.load_compiled(bundle, verify=True)
+        assert_columns_identical(read_trace_array(ascii_path), compiled.trace)
+        assert compiled.header.source_sha256 == store.file_digest(ascii_path)
+
+    def test_read_any_trace_array_dispatches(self, ascii_path):
+        bundle = store.compile_trace(ascii_path)
+        assert_columns_identical(
+            read_any_trace_array(ascii_path), read_any_trace_array(bundle)
+        )
+
+    def test_loaded_columns_are_read_only(self, tmp_path, venus_trace):
+        path = store.write_store(
+            tmp_path / "v.rpt", venus_trace, source={"sha256": "y" * 64}
+        )
+        compiled = store.load_compiled(path)
+        with pytest.raises(ValueError):
+            compiled.trace.offset[0] = 1
+
+    def test_empty_trace_round_trips(self, tmp_path):
+        path = store.write_store(
+            tmp_path / "empty.rpt", TraceArray.empty(), source={"sha256": ""}
+        )
+        compiled = store.load_compiled(path, verify=True)
+        assert len(compiled.trace) == 0
+        assert compiled.header.files == ()
+
+    def test_file_table_metadata(self, tmp_path, venus_trace):
+        path = store.write_store(
+            tmp_path / "v.rpt", venus_trace, source={"sha256": "z" * 64}
+        )
+        header = store.read_store_header(path)
+        by_id = {row["id"]: row for row in header.files}
+        assert set(by_id) == set(int(f) for f in venus_trace.file_ids())
+        fid = next(iter(by_id))
+        sub = venus_trace.for_file(fid)
+        assert by_id[fid]["records"] == len(sub)
+        assert by_id[fid]["bytes"] == sub.total_bytes
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(
+            st.tuples(
+                st.integers(0, 0xFFFF),   # record_type
+                st.integers(0, 2**32 - 1),  # file_id
+                st.integers(0, 2**31 - 1),  # process_id
+                st.integers(0, 2**40),      # operation_id
+                st.integers(-(2**62), 2**62),  # offset
+                st.integers(0, 2**40),      # length
+            ),
+            max_size=50,
+        )
+    )
+    def test_arbitrary_columns_round_trip(self, tmp_path_factory, data):
+        cols = list(zip(*data)) if data else [[]] * 6
+        trace = TraceArray.from_columns(
+            record_type=np.asarray(cols[0], dtype=np.uint16),
+            file_id=np.asarray(cols[1], dtype=np.uint32),
+            process_id=np.asarray(cols[2], dtype=np.uint32),
+            operation_id=np.asarray(cols[3], dtype=np.uint64),
+            offset=np.asarray(cols[4], dtype=np.int64),
+            length=np.asarray(cols[5], dtype=np.int64),
+        )
+        td = tmp_path_factory.mktemp("prop")
+        path = store.write_store(td / "t.rpt", trace, source={"sha256": "p"})
+        compiled = store.load_compiled(path, verify=True)
+        assert_columns_identical(trace, compiled.trace)
+
+
+class TestRejection:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "garbage.rpt"
+        path.write_bytes(b"not a store file at all")
+        assert not store.is_store_file(path)
+        with pytest.raises(StoreFormatError, match="bad magic"):
+            store.load_compiled(path)
+
+    def test_missing_file(self, tmp_path):
+        assert not store.is_store_file(tmp_path / "absent.rpt")
+        with pytest.raises(StoreFormatError):
+            store.load_compiled(tmp_path / "absent.rpt")
+
+    def test_version_mismatch(self, tmp_path, venus_trace, monkeypatch):
+        monkeypatch.setattr(store, "STORE_VERSION", store.STORE_VERSION + 1)
+        path = store.write_store(
+            tmp_path / "future.rpt", venus_trace, source={"sha256": "f"}
+        )
+        monkeypatch.undo()
+        with pytest.raises(StoreFormatError, match="version"):
+            store.load_compiled(path)
+
+    def test_truncated_payload(self, tmp_path, venus_trace):
+        path = store.write_store(
+            tmp_path / "t.rpt", venus_trace, source={"sha256": "t"}
+        )
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 100])
+        with pytest.raises(StoreFormatError, match="truncated payload"):
+            store.load_compiled(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "h.rpt"
+        path.write_bytes(store.STORE_MAGIC + (10**6).to_bytes(8, "little"))
+        with pytest.raises(StoreFormatError):
+            store.load_compiled(path)
+
+    def test_corrupt_payload_caught_by_verify(self, tmp_path, venus_trace):
+        path = store.write_store(
+            tmp_path / "c.rpt", venus_trace, source={"sha256": "c"}
+        )
+        raw = bytearray(path.read_bytes())
+        raw[-3] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StoreFormatError, match="digest mismatch"):
+            store.load_compiled(path, verify=True)
+        # structural checks alone cannot see a same-size bit flip
+        store.load_compiled(path, verify=False)
+
+    def test_wrong_column_schema(self, tmp_path, venus_trace):
+        path = store.write_store(
+            tmp_path / "s.rpt", venus_trace, source={"sha256": "s"}
+        )
+        raw = path.read_bytes()
+        header_len = int.from_bytes(raw[8:16], "little")
+        header = json.loads(raw[16 : 16 + header_len])
+        header["columns"][0]["name"] = "nope"
+        rewritten = json.dumps(header, sort_keys=True).encode()
+        # keep offsets stable by padding the header to its original size
+        rewritten += b" " * (header_len - len(rewritten))
+        path.write_bytes(raw[:16] + rewritten + raw[16 + header_len :])
+        with pytest.raises(StoreFormatError, match="column set"):
+            store.load_compiled(path)
+
+    def test_compile_refuses_compiled_input(self, ascii_path):
+        bundle = store.compile_trace(ascii_path)
+        with pytest.raises(StoreFormatError, match="already"):
+            store.compile_trace(bundle)
+
+
+class TestCompileCache:
+    def test_get_or_compile_hits_second_time(self, tmp_path, ascii_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cache = store.TraceStoreCache.default()
+            first = cache.get_or_compile_file(ascii_path)
+            second = cache.get_or_compile_file(ascii_path)
+        assert_columns_identical(first, second)
+        counters = registry.counters()
+        assert counters["trace.store.compile_misses"] == 1
+        assert counters["trace.store.compile_hits"] == 1
+        assert counters["trace.store.compiles"] == 1
+        assert counters["trace.store.bytes_mapped"] > 0
+        digest = store.file_digest(ascii_path)
+        assert cache.path_for(digest).exists()
+
+    def test_disabled_by_env(self, ascii_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        cache = store.TraceStoreCache.default()
+        assert not cache.enabled
+        # still materializes, straight through the ASCII decoder
+        trace = cache.get_or_compile_file(ascii_path)
+        assert_columns_identical(trace, read_trace_array(ascii_path))
+
+    def test_default_root_under_result_cache(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "results"))
+        assert store.store_cache_root() == tmp_path / "results" / "trace-store"
+
+    def test_corrupt_entry_degrades_to_recompile(
+        self, tmp_path, ascii_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+        cache = store.TraceStoreCache.default()
+        cache.get_or_compile_file(ascii_path)
+        entry = cache.path_for(store.file_digest(ascii_path))
+        entry.write_bytes(b"rotten")
+        with pytest.warns(RuntimeWarning, match="unusable"):
+            trace = cache.get_or_compile_file(ascii_path)
+        assert_columns_identical(trace, read_trace_array(ascii_path))
+        # the recompile healed the entry
+        assert store.is_store_file(entry)
+
+    def test_aliased_entry_rejected(self, tmp_path, ascii_path, monkeypatch):
+        # A bundle renamed to another digest's slot must not be served.
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "tc"))
+        cache = store.TraceStoreCache.default()
+        cache.get_or_compile_file(ascii_path)
+        entry = cache.path_for(store.file_digest(ascii_path))
+        alias = cache.path_for("ab" * 32)
+        alias.parent.mkdir(parents=True, exist_ok=True)
+        alias.write_bytes(entry.read_bytes())
+        with pytest.warns(RuntimeWarning, match="unusable"):
+            assert cache.load("ab" * 32) is None
