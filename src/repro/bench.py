@@ -231,6 +231,12 @@ def bench_store(scale: float = 0.1, *, min_mb: float = 2.0) -> BenchResult:
     value is MB/s of the *ASCII-equivalent* bytes so it is directly
     comparable to the ``decode`` benchmark; the detail carries the
     speedup ratio, the zero-decode acceptance number.
+
+    The compile cache is pinned off *inside the section itself* (same
+    save/restore discipline as :func:`bench_fig8`): a warm
+    ``$REPRO_TRACE_CACHE`` left over from the caller's environment or an
+    earlier section must not let the timed load ride a memoized compile
+    and report an incomparable number.
     """
     import numpy as np
 
@@ -244,24 +250,32 @@ def bench_store(scale: float = 0.1, *, min_mb: float = 2.0) -> BenchResult:
     lines = lines * copies
     nbytes *= copies
 
-    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as td:
-        ascii_path = Path(td) / "bench.trace"
-        ascii_path.write_text("\n".join(lines) + "\n", encoding="ascii")
+    saved = os.environ.get("REPRO_TRACE_CACHE")
+    os.environ["REPRO_TRACE_CACHE"] = "off"
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as td:
+            ascii_path = Path(td) / "bench.trace"
+            ascii_path.write_text("\n".join(lines) + "\n", encoding="ascii")
 
-        t0 = time.perf_counter()
-        with open(ascii_path, "r", encoding="ascii") as fh:
-            decoded = TraceDecoder().decode_array(fh)
-        ascii_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            with open(ascii_path, "r", encoding="ascii") as fh:
+                decoded = TraceDecoder().decode_array(fh)
+            ascii_s = time.perf_counter() - t0
 
-        bundle = compile_trace(ascii_path)
-        t0 = time.perf_counter()
-        compiled = load_compiled(bundle)
-        touched = sum(
-            int(np.add.reduce(col, dtype=np.int64) & 0xFF)
-            for col in compiled.trace.columns().values()
-        )
-        store_s = time.perf_counter() - t0
-        store_bytes = bundle.stat().st_size
+            bundle = compile_trace(ascii_path)
+            t0 = time.perf_counter()
+            compiled = load_compiled(bundle)
+            touched = sum(
+                int(np.add.reduce(col, dtype=np.int64) & 0xFF)
+                for col in compiled.trace.columns().values()
+            )
+            store_s = time.perf_counter() - t0
+            store_bytes = bundle.stat().st_size
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_TRACE_CACHE", None)
+        else:
+            os.environ["REPRO_TRACE_CACHE"] = saved
 
     assert len(decoded) == len(compiled.trace)
     return BenchResult(
@@ -315,6 +329,50 @@ def bench_fig8(scale: float = 0.1, *, jobs: int = 1) -> BenchResult:
             "points": len(points),
             "scale": scale,
             "jobs": jobs,
+            "digest": digest[:16],
+        },
+    )
+
+
+def bench_fig8_batch(scale: float = 0.1, *, jobs: int = 1) -> BenchResult:
+    """The Figure 8 sweep under the run-level batch kernel.
+
+    Identical measurement protocol to :func:`bench_fig8` -- cold trace
+    cache, same scale, same digest over the sweep rows -- with
+    ``REPRO_ENGINE_IMPL=batch`` pinned for the section.  The digest in
+    the detail must equal the ``fig8`` section's digest (bit-identical
+    results are the batch kernel's contract); the wall-clock ratio
+    against ``fig8`` is the kernel's speedup on this hardware.
+    """
+    saved_cache = os.environ.get("REPRO_TRACE_CACHE")
+    saved_engine = os.environ.get("REPRO_ENGINE_IMPL")
+    os.environ["REPRO_TRACE_CACHE"] = "off"
+    os.environ["REPRO_ENGINE_IMPL"] = "batch"
+    try:
+        t0 = time.perf_counter()
+        points = cache_size_sweep(scale=scale, seed=DEFAULT_SEED, jobs=jobs)
+        wall = time.perf_counter() - t0
+    finally:
+        if saved_cache is None:
+            os.environ.pop("REPRO_TRACE_CACHE", None)
+        else:
+            os.environ["REPRO_TRACE_CACHE"] = saved_cache
+        if saved_engine is None:
+            os.environ.pop("REPRO_ENGINE_IMPL", None)
+        else:
+            os.environ["REPRO_ENGINE_IMPL"] = saved_engine
+    digest = _fig8_digest(points)
+    return BenchResult(
+        name="fig8_batch",
+        value=wall,
+        unit="s",
+        wall_s=wall,
+        higher_is_better=False,
+        detail={
+            "points": len(points),
+            "scale": scale,
+            "jobs": jobs,
+            "engine_impl": "batch",
             "digest": digest[:16],
         },
     )
@@ -421,6 +479,7 @@ _SUITE: dict[str, tuple[Callable[..., BenchResult], dict, dict]] = {
         {"scale": 0.1, "min_mb": 4.0},
     ),
     "fig8": (bench_fig8, {"scale": 0.05}, {"scale": 0.1}),
+    "fig8_batch": (bench_fig8_batch, {"scale": 0.05}, {"scale": 0.1}),
     "fig8_warm": (bench_fig8_warm, {"scale": 0.05}, {"scale": 0.1}),
 }
 
@@ -437,7 +496,7 @@ def run_suite(
     results: dict[str, BenchResult] = {}
     for name, (fn, quick_kwargs, full_kwargs) in _SUITE.items():
         kwargs = dict(quick_kwargs if quick else full_kwargs)
-        if name == "fig8":
+        if name in ("fig8", "fig8_batch"):
             kwargs["jobs"] = jobs
         best: BenchResult | None = None
         for _ in range(max(1, repeats)):

@@ -1,0 +1,332 @@
+"""Run-level batch simulation kernel (``REPRO_ENGINE_IMPL=batch``).
+
+The event engine spends most of a warm-cache run on ceremony: every
+trace record whose data is resident costs a dispatch event, a
+quantum-slice event, a full cache classification pass and an LRU touch
+-- even though the *outcome* of that machinery is fully determined the
+moment the record is issued.  This kernel exploits the trace's dominant
+regularity (the paper's constant-size sequential runs, exposed by
+:meth:`TraceArray.sequential_runs`) to advance whole non-interacting
+stretches cheaply while producing **bit-identical results**, digest for
+digest, against the event-at-a-time engine.
+
+Two cooperating layers:
+
+* **Chain pump.**  The engine calls :meth:`BatchKernel.pump` between
+  calendar events -- never from inside one, so every callback's trailing
+  effects (frame-waiter kicks, drain checks, retry bookkeeping) land
+  before the next dispatch exactly as they do under the event engine.
+  When the next due event is a scheduler dispatch or quantum slice whose
+  whole chain completes strictly before the following calendar entry,
+  the pump pops it and runs the *real* ``_slice_done`` body inline,
+  accounting the elided events through :meth:`Engine.advance_inline` so
+  clock, sequence numbers and ``events_run`` (all digest-visible) match
+  the event engine bit for bit.  The round-robin alternation of multiple
+  CPU-bound processes -- the Figure-8 workload is two venus copies
+  sharing one CPU -- proceeds without touching the heap.
+
+* **Resident-read fast path.**  Demand reads whose span is wholly
+  resident (and whose read-ahead window holds no absent block, so the
+  prefetcher would not issue I/O) skip the cache's allocation machinery:
+  :meth:`BatchKernel.try_fast_read` classifies the span against the
+  columnar frame tables, commits the hit statistics, prefetch-bit
+  clears, LRU touch and stream advance directly, and hands back the hit
+  penalty.  Per sequential run it memoises the run's geometry so the
+  per-record cost is a few scalar comparisons instead of a fresh numpy
+  classification pass.
+
+The kernel **falls back to the event engine** at every interaction
+point: another calendar entry (disk completion, flush deadline, fault
+cut, async completion, another CPU's slice) due at or before the
+emulated horizon, an event budget or tick grid in force, a degraded or
+legacy cache, write records, oversized spans, or any block that is not
+resident.  Fault injection draws randomness only at device submits,
+which resident hits never reach, so batching cannot perturb the
+injector's RNG stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.sim.cache import BufferCache, _StreamState, _ABSENT, _VALID
+from repro.sim.procmodel import TraceProcess, _noop
+from repro.util.units import MB
+
+
+class BatchKernel:
+    """Shared per-simulation state for the batch engine."""
+
+    def __init__(self, engine, scheduler, metrics, cache, config, *, obs=None):
+        self.engine = engine
+        self.scheduler = scheduler
+        self.metrics = metrics
+        self.cache = cache
+        # The fast read path reads the production cache's frame tables
+        # directly; any other implementation (legacy) gets the chain
+        # pump only.
+        self._fast_cache = type(cache) is BufferCache
+        # Instruments resolved once at wiring time (the disabled-obs
+        # path must stay lookup-free per event, like the rest of sim/).
+        reg = obs
+        if reg is None:
+            from repro.obs.registry import get_registry
+
+            reg = get_registry()
+        self._c_chains = reg.counter("sim.batch.chains")
+        self._c_events_elided = reg.counter("sim.batch.events_elided")
+        self._c_fast_reads = reg.counter("sim.batch.fast_reads")
+        self._c_bailouts = reg.counter("sim.batch.bailouts")
+        self._c_skipped = reg.counter("sim.batch.fast_reads_skipped")
+        # Adaptive guard: on miss-dominated workloads most fast-read
+        # attempts fail and their classification pass is pure overhead.
+        # When a window of attempts succeeds too rarely the kernel stops
+        # *attempting* for a stretch, then probes again.  Skipping an
+        # attempt and having it fail are indistinguishable (both take
+        # the full cache path), so the guard cannot perturb results.
+        self._win_attempts = 0
+        self._win_hits = 0
+        self.skip_reads = 0
+        # Pin the scheduler's event callbacks to single bound-method
+        # objects so heap entries can be recognized by identity.
+        self._dispatch_fn = scheduler._run_slice
+        self._slice_fn = scheduler._slice_done
+        scheduler._run_slice = self._dispatch_fn
+        scheduler._slice_done = self._slice_fn
+
+    # ------------------------------------------------------------------
+    # Chain pump
+    # ------------------------------------------------------------------
+    def pump(self) -> None:
+        """Emulate due scheduler chains between calendar events.
+
+        Called by :meth:`Engine.run` at the top of its loop, where no
+        event callback is mid-flight.  Each iteration handles the
+        earliest calendar entry when it belongs to the scheduler:
+
+        * a *dispatch* (``_run_slice``) whose quantum slice would end
+          strictly before the next calendar entry and within the run's
+          ``until`` bound is elided entirely -- the clock jumps to the
+          slice end and the real ``_slice_done`` body runs inline
+          (consume, busy accounting, preemption or record issue, next
+          dispatch).  The dispatch event already consumed its sequence
+          number when it was scheduled, so only the never-scheduled
+          slice event's is accounted;
+
+        * a *slice expiry* (``_slice_done``) is simply run inline at its
+          due time -- it is the next event regardless, and keeping it in
+          the pump lets the following dispatch be elided too.
+
+        Everything else -- ties included, conservatively -- returns
+        control to the engine loop.
+        """
+        engine = self.engine
+        heap = engine._heap
+        if (
+            not heap
+            or engine.run_max_events is not None
+            or engine.tick_s is not None
+        ):
+            return
+        sched = self.scheduler
+        dispatch_fn = self._dispatch_fn
+        slice_fn = self._slice_fn
+        slice_done = self._slice_fn
+        cancelled = engine._cancelled
+        until = engine.run_until
+        config = sched.config
+        advance = engine.advance_inline
+        pop = heapq.heappop
+        push = heapq.heappush
+        chains = 0
+        elided = 0
+        while heap:
+            item = heap[0]
+            fn = item[2]
+            if fn is dispatch_fn:
+                when = item[0]
+                if when > until or item[1] in cancelled:
+                    break
+                proc, cpu = item[3]
+                slice_s = min(config.quantum_s, proc.compute_remaining())
+                if slice_s > 0:
+                    t2 = when + slice_s
+                    pop(heap)
+                    if t2 > until or (heap and t2 >= heap[0][0]):
+                        # The slice would land at or past the next
+                        # calendar entry (whose callback may change the
+                        # ready queue first) or past the run bound; put
+                        # the dispatch back for the real machinery.
+                        push(heap, item)
+                        self._c_bailouts.inc()
+                        break
+                    # Dispatch event ran (seq already allocated at
+                    # schedule time) + slice event ran (never
+                    # scheduled): two events, one fresh seq.
+                    advance(t2, 2, 1)
+                    chains += 1
+                    elided += 2
+                    slice_done(proc, cpu, slice_s)
+                else:
+                    # Zero compute: the real chain is the dispatch event
+                    # alone, with the slice-done body inline at its time.
+                    pop(heap)
+                    advance(when, 1, 0)
+                    chains += 1
+                    elided += 1
+                    slice_done(proc, cpu, 0.0)
+            elif fn is slice_fn:
+                when = item[0]
+                if when > until or item[1] in cancelled:
+                    break
+                pop(heap)
+                advance(when, 1, 0)
+                elided += 1
+                proc, cpu, slice_s = item[3]
+                slice_done(proc, cpu, slice_s)
+            else:
+                break
+        if chains:
+            self._c_chains.inc(chains)
+        if elided:
+            self._c_events_elided.inc(elided)
+
+    # ------------------------------------------------------------------
+    # Resident-read fast path
+    # ------------------------------------------------------------------
+    def try_fast_read(self, file_id: int, offset: int, length: int):
+        """Commit a fully-resident demand read scalar-side.
+
+        Returns the hit penalty to hand to ``on_complete``, or None when
+        the record needs the full cache path (miss, inflight block,
+        oversized span, degraded mode, a frame table that would grow, or
+        a prefetch that would issue).  Simulated time is untouched --
+        this replaces only :meth:`BufferCache.read`'s classification
+        machinery with its precomputed outcome, so it is valid even
+        while other processes contend for the CPU.
+        """
+        cache = self.cache
+        if not self._fast_cache or cache.degraded or length <= 0:
+            return None
+        if self.skip_reads > 0:
+            self.skip_reads -= 1
+            self._c_skipped.inc()
+            return None
+        penalty = self._classify_and_commit(cache, file_id, offset, length)
+        self._win_attempts += 1
+        if penalty is not None:
+            self._win_hits += 1
+            self._c_fast_reads.inc()
+        if self._win_attempts >= 32:
+            # Below ~38% success the attempt overhead outweighs the
+            # saved classification passes; back off for a stretch.
+            if self._win_hits * 8 < self._win_attempts * 3:
+                self.skip_reads = 160
+            self._win_attempts = 0
+            self._win_hits = 0
+        return penalty
+
+    def _classify_and_commit(self, cache, file_id, offset, length):
+        cfg = cache.config
+        file_end = cache._file_sizes.get(file_id, 0)
+        end = offset + length
+        if end > file_end:
+            return None  # would extend the inode; leave to the real path
+        frames = cache._files.get(file_id)
+        if frames is None:
+            return None
+        bs = cfg.block_bytes
+        a = offset // bs
+        b = (end - 1) // bs
+        st = frames.st
+        if b >= st.size:
+            return None
+        nb = b - a + 1
+        if nb > cfg.n_blocks:
+            return None
+        cap = cfg.max_blocks_per_process
+        if cap is not None and nb > cap:
+            return None
+        seg = st[a:b + 1]
+        if seg.min() < _VALID:
+            return None  # an absent or in-flight block in the span
+        stream = None
+        matched = False
+        advance = False
+        we = 0
+        if cfg.read_ahead:
+            stream = cache._streams.get(file_id)
+            matched = stream is not None and offset == stream.next_offset
+            if matched:
+                we = end + cfg.auto_depth(length) * length
+                if we > file_end:
+                    we = file_end
+                start = stream.prefetch_until
+                if start < end:
+                    start = end
+                if start < we:
+                    wlast = (we - 1) // bs
+                    if wlast >= st.size:
+                        return None
+                    if st[start // bs:wlast + 1].min() == _ABSENT:
+                        return None
+                    advance = True
+        # ---- commit --------------------------------------------------
+        stats = cache._stats
+        stats.read_requests += 1
+        stats.read_bytes += length
+        self.metrics.demand_series.add(self.engine.now, length / MB)
+        stats.block_hits += nb
+        pfseg = frames.pf[a:b + 1]
+        npf = int(np.count_nonzero(pfseg))
+        if npf:
+            stats.readahead_hits += npf
+            frames.pf[a:b + 1] = False
+        if seg.max() == _VALID:
+            # No dirty/flushing block in the span: every frame is clean
+            # and the touch covers the whole range.
+            cache._clean_touch(frames, np.arange(a, b + 1))
+        else:
+            touched = np.flatnonzero(seg == _VALID) + a
+            if touched.size:
+                cache._clean_touch(frames, touched)
+        if cfg.read_ahead:
+            if matched:
+                stream.next_offset = end
+                stream.length = length
+                if advance:
+                    # No absent block in the window, so the prefetcher
+                    # marches straight to window_end without issuing.
+                    stream.prefetch_until = we
+            else:
+                cache._streams[file_id] = _StreamState(
+                    next_offset=end, length=length
+                )
+        return cfg.hit_penalty_s(length)
+
+
+class BatchTraceProcess(TraceProcess):
+    """A :class:`TraceProcess` whose reads consult the kernel first.
+
+    Only :meth:`_submit` is overridden: demand reads are offered to the
+    fast path and fall back to the full cache untouched.  The replay
+    loop, blocking discipline and accounting are the base class's.
+    """
+
+    def __init__(self, *args, kernel: BatchKernel, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._kernel = kernel
+
+    def _submit(self, file_id, offset, length, is_write, on_done) -> None:
+        if not is_write:
+            penalty = self._kernel.try_fast_read(file_id, offset, length)
+            if penalty is not None:
+                (on_done if on_done is not None else _noop)(penalty)
+                return
+        callback = on_done if on_done is not None else _noop
+        if is_write:
+            self.cache.write(file_id, offset, length, self.process_id, callback)
+        else:
+            self.cache.read(file_id, offset, length, self.process_id, callback)

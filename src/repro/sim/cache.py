@@ -462,14 +462,26 @@ class BufferCache:
         """
         nids = frames.nid[idx]
         n = nids.size
-        i = 0
+        if n == 0:
+            return
         nodes = self._nodes
-        while i < n:
-            nid = nids[i]
-            j = i + 1
-            while j < n and nids[j] == nid:
-                j += 1
-            node = nodes[int(nid)]
+        # Group boundaries (consecutive equal node ids): one vectorized
+        # pass for wide spans, a plain-list scan for narrow ones (where
+        # the numpy call overhead would dominate).
+        if n > 16:
+            starts = np.flatnonzero(nids[1:] != nids[:-1]) + 1
+            bounds = [0, *starts.tolist(), n]
+        elif n > 1:
+            lst = nids.tolist()
+            bounds = [0]
+            bounds += [i for i in range(1, n) if lst[i] != lst[i - 1]]
+            bounds.append(n)
+        else:
+            bounds = [0, n]
+        for k in range(len(bounds) - 1):
+            i = bounds[k]
+            j = bounds[k + 1]
+            node = nodes[int(nids[i])]
             group = idx[i:j]
             if j - i == node.idx.size:
                 if node is not self._lru_tail:
@@ -483,7 +495,6 @@ class BufferCache:
                 nodes[node_id] = new_node
                 frames.nid[group] = node_id
                 self._lru_append(new_node)
-            i = j
 
     def _clean_remove(self, frames: _FileFrames, idx: np.ndarray) -> None:
         """Take specific clean frames out of the LRU (state untouched by
@@ -493,20 +504,23 @@ class BufferCache:
         """
         nids = frames.nid[idx]
         n = nids.size
-        i = 0
+        if n == 0:
+            return
         nodes = self._nodes
-        while i < n:
-            nid = nids[i]
-            j = i + 1
-            while j < n and nids[j] == nid:
-                j += 1
-            node = nodes[int(nid)]
+        if n > 1:
+            starts = np.flatnonzero(nids[1:] != nids[:-1]) + 1
+            bounds = [0, *starts.tolist(), n]
+        else:
+            bounds = [0, n]
+        for k in range(len(bounds) - 1):
+            i = bounds[k]
+            j = bounds[k + 1]
+            node = nodes[int(nids[i])]
             if j - i == node.idx.size:
                 self._lru_unlink(node)
                 del nodes[node.id]
             else:
                 node.idx = np.setdiff1d(node.idx, idx[i:j], assume_unique=True)
-            i = j
         self._clean_count -= n
 
     # ------------------------------------------------------------------

@@ -48,6 +48,26 @@ def _cache_class(cache_impl: str | None):
     )
 
 
+def _engine_impl(engine_impl: str | None) -> str:
+    """Resolve the replay-engine implementation.
+
+    ``"event"`` (default) is the event-at-a-time engine; ``"batch"``
+    layers the run-level batch kernel (:mod:`repro.sim.batch`) on top of
+    it, falling back to events at every interaction point.  The
+    ``REPRO_ENGINE_IMPL`` environment variable applies when no explicit
+    argument is given -- like ``REPRO_CACHE_IMPL``, deliberately *not* a
+    ``SimConfig`` field, so result-cache keys are identical for both
+    implementations (the outputs are bit-identical by contract).
+    """
+    if engine_impl is None:
+        engine_impl = os.environ.get("REPRO_ENGINE_IMPL", "event")
+    if engine_impl in ("event", "batch"):
+        return engine_impl
+    raise SimulationError(
+        f"unknown engine_impl {engine_impl!r} (expected 'event' or 'batch')"
+    )
+
+
 class SimulatedSystem:
     """One runnable simulation instance."""
 
@@ -58,6 +78,7 @@ class SimulatedSystem:
         *,
         obs=None,
         cache_impl: str | None = None,
+        engine_impl: str | None = None,
     ):
         self.config = config if config is not None else SimConfig()
         if not traces:
@@ -92,6 +113,7 @@ class SimulatedSystem:
             self.config.cache, self.engine, self.disk, self.metrics,
             file_sizes=file_sizes, device=self.device, obs=self.obs,
         )
+        self.engine_impl = _engine_impl(engine_impl)
         self.scheduler = RoundRobinScheduler(
             self.engine,
             self.config.scheduler,
@@ -99,6 +121,23 @@ class SimulatedSystem:
             n_cpus=self.config.scheduler.n_cpus,
             obs=self.obs,
         )
+        self.batch_kernel = None
+        proc_kwargs: dict = {}
+        proc_class = TraceProcess
+        if self.engine_impl == "batch":
+            from repro.sim.batch import BatchKernel, BatchTraceProcess
+
+            self.batch_kernel = BatchKernel(
+                self.engine,
+                self.scheduler,
+                self.metrics,
+                self.cache,
+                self.config,
+                obs=self.obs,
+            )
+            self.engine.pump = self.batch_kernel.pump
+            proc_class = BatchTraceProcess
+            proc_kwargs["kernel"] = self.batch_kernel
         self.processes: list[TraceProcess] = []
         seen_pids: set[int] = set()
         for k, trace in enumerate(traces):
@@ -111,7 +150,7 @@ class SimulatedSystem:
                 )
             seen_pids.add(pid)
             self.processes.append(
-                TraceProcess(
+                proc_class(
                     pid,
                     trace,
                     engine=self.engine,
@@ -119,6 +158,7 @@ class SimulatedSystem:
                     cache=self.cache,
                     metrics=self.metrics,
                     sched_config=self.config.scheduler,
+                    **proc_kwargs,
                 )
             )
 
@@ -263,6 +303,10 @@ def simulate(
     *,
     max_events: int | None = None,
     obs=None,
+    cache_impl: str | None = None,
+    engine_impl: str | None = None,
 ) -> SimulationResult:
     """One-shot: build and run a :class:`SimulatedSystem`."""
-    return SimulatedSystem(traces, config, obs=obs).run(max_events=max_events)
+    return SimulatedSystem(
+        traces, config, obs=obs, cache_impl=cache_impl, engine_impl=engine_impl
+    ).run(max_events=max_events)

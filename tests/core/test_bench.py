@@ -107,5 +107,59 @@ def test_committed_baseline_is_loadable():
         "decode",
         "store",
         "fig8",
+        "fig8_batch",
         "fig8_warm",
     }
+    fig8 = baseline["benchmarks"]["fig8"]
+    batch = baseline["benchmarks"]["fig8_batch"]
+    # The batch kernel's contract: same sweep, bit-identical rows.
+    assert batch["detail"]["digest"] == fig8["detail"]["digest"]
+
+
+def test_store_bench_pins_trace_cache_cold(monkeypatch, tmp_path):
+    # Regression: the store section used to measure the bundle load with
+    # whatever $REPRO_TRACE_CACHE the caller had -- a warm compile cache
+    # made the number incomparable to the committed baseline.  The pin
+    # must happen inside the section itself, and the caller's setting
+    # must survive the call.
+    import os
+
+    from repro.bench import bench_store
+    from repro.trace import store as store_mod
+
+    warm = str(tmp_path / "warm-cache")
+    monkeypatch.setenv("REPRO_TRACE_CACHE", warm)
+    seen = {}
+    real_compile = store_mod.compile_trace
+    real_load = store_mod.load_compiled
+
+    def spy_compile(*args, **kwargs):
+        seen["compile"] = os.environ.get("REPRO_TRACE_CACHE")
+        return real_compile(*args, **kwargs)
+
+    def spy_load(*args, **kwargs):
+        seen["load"] = os.environ.get("REPRO_TRACE_CACHE")
+        return real_load(*args, **kwargs)
+
+    monkeypatch.setattr(store_mod, "compile_trace", spy_compile)
+    monkeypatch.setattr(store_mod, "load_compiled", spy_load)
+    bench_store(scale=0.02, min_mb=0.01)
+    assert seen["compile"] == "off"
+    assert seen["load"] == "off"
+    assert os.environ["REPRO_TRACE_CACHE"] == warm
+
+
+def test_fig8_batch_bench_matches_fig8_digest(monkeypatch):
+    # The batch section pins its engine for the measurement, restores
+    # the caller's env, and -- the acceptance contract -- produces the
+    # same sweep digest as the event-engine section.
+    import os
+
+    from repro.bench import bench_fig8, bench_fig8_batch
+
+    monkeypatch.setenv("REPRO_ENGINE_IMPL", "event")
+    batch = bench_fig8_batch(scale=0.02)
+    assert os.environ["REPRO_ENGINE_IMPL"] == "event"
+    assert batch.detail["engine_impl"] == "batch"
+    event = bench_fig8(scale=0.02)
+    assert batch.detail["digest"] == event.detail["digest"]

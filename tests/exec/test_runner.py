@@ -266,3 +266,59 @@ class TestStoreKeyInvariance:
         ]
         for name, col in generated.trace.columns().items():
             assert np.array_equal(col, getattr(rehydrated.trace, name)), name
+
+
+class TestKeyInvariance:
+    """Execution knobs must never leak into result-cache keys.
+
+    ``engine_impl`` and ``cache_impl`` select bit-identical
+    implementations, ``use_store`` only changes how trace bytes are
+    loaded, and shared-memory fan-out is pure transport -- results for
+    one (config, workload, seed) point are interchangeable across all of
+    them, so none may appear in ``key_material``.
+    """
+
+    FORBIDDEN = ("engine_impl", "use_store", "shm", "cache_impl")
+
+    @staticmethod
+    def _flat_keys(material):
+        keys = set()
+        stack = [material]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, dict):
+                keys.update(node)
+                stack.extend(node.values())
+            elif isinstance(node, (list, tuple)):
+                stack.extend(node)
+        return keys
+
+    @pytest.mark.parametrize("knob", FORBIDDEN)
+    def test_knob_absent_from_point_key_material(self, knob):
+        from repro.exec.keys import point_key_material
+
+        workload = AppWorkloadSpec(app="venus", scale=SCALE, n_copies=2)
+        material = point_key_material(
+            SimConfig(cache=CacheConfig(size_bytes=8 * MB)),
+            workload.key_material(),
+            sweep_seed=7,
+        )
+        assert knob not in self._flat_keys(material)
+
+    @pytest.mark.parametrize("knob", FORBIDDEN)
+    def test_knob_absent_from_workload_key_material(self, knob, tmp_path):
+        app = AppWorkloadSpec(app="venus", scale=SCALE, n_copies=2)
+        assert knob not in self._flat_keys(app.key_material())
+        path = tmp_path / "t.trace"
+        path.write_text("")
+        files = TraceFileSpec(paths=(str(path),), use_store=True)
+        assert knob not in self._flat_keys(files.key_material())
+
+    def test_engine_impl_env_does_not_change_point_keys(self, monkeypatch):
+        point = two_venus_points()[0]
+        monkeypatch.setenv("REPRO_ENGINE_IMPL", "event")
+        key_event = point.key(sweep_seed=7)
+        monkeypatch.setenv("REPRO_ENGINE_IMPL", "batch")
+        key_batch = point.key(sweep_seed=7)
+        monkeypatch.delenv("REPRO_ENGINE_IMPL")
+        assert key_event == key_batch == point.key(sweep_seed=7)

@@ -1,0 +1,19 @@
+"""Reusable differential-testing harness.
+
+The simulator now has three implementations that must agree bit for bit
+-- the legacy per-block cache, the run-coalesced fast cache, and the
+run-level batch engine layered on either.  :mod:`tests.harness.differential`
+runs any (workload, config, fault-plan, cache-impl, engine-impl) tuple
+through both engines and compares full result digests, with a field-level
+divergence report when they differ.
+"""
+
+from tests.harness.differential import (  # noqa: F401
+    DifferentialCase,
+    PairOutcome,
+    QUICK_MATRIX,
+    assert_equivalent,
+    describe_divergence,
+    run_case,
+    run_pair,
+)

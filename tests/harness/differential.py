@@ -1,0 +1,294 @@
+"""Run one simulation tuple through both engines and demand digest equality.
+
+The core primitive is :func:`run_pair`: given traces and a config it runs
+the event-at-a-time engine and the batch kernel back to back (on the
+requested cache implementation) and reports whether the full result
+digests -- every scalar, every cache counter, every binned rate series --
+match.  :func:`assert_equivalent` turns a mismatch into an assertion
+whose message names the first diverging fields, which is the difference
+between "digest mismatch" and an actionable bug report.
+
+:data:`QUICK_MATRIX` is the CI matrix: named, reconstructible cases
+spanning both cache implementations and fault-free/faulted plans.  Run it
+standalone with::
+
+    python -m tests.harness.differential [--artifacts DIR]
+
+which exits nonzero on any mismatch and, when ``--artifacts`` is given,
+writes one JSON report per failing case (digests plus the field-level
+divergence) for upload from CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.sim.config import CacheConfig, SimConfig, ssd_cache
+from repro.sim.faults import FaultPlan
+from repro.sim.metrics import SimulationResult
+from repro.sim.procmodel import relabel_copies
+from repro.sim.system import SimulatedSystem
+from repro.trace.array import TraceArray
+from repro.util.rng import DEFAULT_SEED
+from repro.util.units import KB, MB
+from repro.workloads.base import generate_workload
+
+ENGINE_IMPLS = ("event", "batch")
+
+_SCALAR_FIELDS = (
+    "wall_seconds",
+    "completion_seconds",
+    "n_cpus",
+    "busy_seconds",
+    "switch_seconds",
+    "interrupt_seconds",
+    "disk_sequential_fraction",
+    "disk_busy_seconds",
+    "events_run",
+)
+_CACHE_FIELDS = (
+    "read_requests", "read_bytes", "write_requests", "write_bytes",
+    "block_hits", "block_misses", "block_inflight_hits",
+    "readahead_hits", "prefetch_issued", "prefetch_blocks",
+    "writes_absorbed", "writes_cancelled", "frame_stalls",
+    "bypass_requests",
+)
+_FAULT_FIELDS = (
+    "injected_errors", "injected_slowdowns", "timeouts", "retries",
+    "recovered", "failed_reads", "failed_writes", "reflushes",
+    "degraded_requests", "lost_bytes", "max_attempts", "crashed",
+)
+_SERIES_FIELDS = ("disk_read_rate", "disk_write_rate", "demand_rate", "busy_rate")
+
+
+def describe_divergence(a: SimulationResult, b: SimulationResult) -> list[str]:
+    """Field-by-field comparison of two results, one line per difference."""
+    lines: list[str] = []
+    for name in _SCALAR_FIELDS:
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            lines.append(f"{name}: {va!r} != {vb!r}")
+    for name in _CACHE_FIELDS:
+        va, vb = getattr(a.cache, name), getattr(b.cache, name)
+        if va != vb:
+            lines.append(f"cache.{name}: {va} != {vb}")
+    for name in _FAULT_FIELDS:
+        va, vb = getattr(a.faults, name), getattr(b.faults, name)
+        if va != vb:
+            lines.append(f"faults.{name}: {va!r} != {vb!r}")
+    pids = sorted(set(a.processes) | set(b.processes))
+    for pid in pids:
+        pa, pb = a.processes.get(pid), b.processes.get(pid)
+        if pa != pb:
+            lines.append(f"processes[{pid}]: {pa!r} != {pb!r}")
+    for name in _SERIES_FIELDS:
+        sa, sb = getattr(a, name), getattr(b, name)
+        if sa != sb:
+            lines.append(f"{name}: series differ")
+    return lines
+
+
+@dataclass
+class PairOutcome:
+    """Both engines' digests for one tuple, plus the divergence if any."""
+
+    digests: dict[str, str]
+    results: dict[str, SimulationResult]
+    divergence: list[str] = field(default_factory=list)
+
+    @property
+    def match(self) -> bool:
+        return self.digests["event"] == self.digests["batch"]
+
+
+def run_pair(
+    traces: Sequence[TraceArray],
+    config: SimConfig,
+    *,
+    cache_impl: str = "fast",
+    max_events: int | None = None,
+) -> PairOutcome:
+    """Run ``traces`` under ``config`` through both engines and compare."""
+    results = {
+        impl: SimulatedSystem(
+            traces, config, cache_impl=cache_impl, engine_impl=impl
+        ).run(max_events=max_events)
+        for impl in ENGINE_IMPLS
+    }
+    outcome = PairOutcome(
+        digests={impl: r.digest() for impl, r in results.items()},
+        results=results,
+    )
+    if not outcome.match:
+        outcome.divergence = describe_divergence(
+            results["event"], results["batch"]
+        )
+    return outcome
+
+
+def assert_equivalent(
+    traces: Sequence[TraceArray],
+    config: SimConfig,
+    *,
+    cache_impl: str = "fast",
+    label: str = "",
+    max_events: int | None = None,
+) -> PairOutcome:
+    """Assert both engines produce the same digest; name what diverged."""
+    outcome = run_pair(
+        traces, config, cache_impl=cache_impl, max_events=max_events
+    )
+    if not outcome.match:
+        detail = "\n  ".join(outcome.divergence) or "(digest-only divergence)"
+        raise AssertionError(
+            f"engine divergence{f' [{label}]' if label else ''} "
+            f"(cache_impl={cache_impl}):\n"
+            f"  event={outcome.digests['event']}\n"
+            f"  batch={outcome.digests['batch']}\n  {detail}"
+        )
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# Named, reconstructible cases (the CI quick matrix)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class DifferentialCase:
+    """One named (workload, config, fault-plan, cache-impl) tuple."""
+
+    name: str
+    config: SimConfig
+    workload: str = "venus"
+    scale: float = 0.05
+    seed: int = DEFAULT_SEED
+    n_copies: int = 2
+    fault_spec: str | None = None
+    cache_impl: str = "fast"
+
+    def build_traces(self) -> list[TraceArray]:
+        trace = generate_workload(
+            self.workload, scale=self.scale, seed=self.seed
+        ).trace
+        if self.n_copies > 1:
+            return relabel_copies(trace, self.n_copies)
+        return [trace]
+
+    def resolved_config(self) -> SimConfig:
+        if self.fault_spec is None:
+            return self.config
+        return FaultPlan.from_spec(self.fault_spec).apply(self.config)
+
+
+# Traces are rebuilt per case name at most once; workload generation is
+# the expensive part and most cases share (workload, scale, seed, copies).
+_TRACE_CACHE: dict[tuple, list[TraceArray]] = {}
+
+
+def _traces_for(case: DifferentialCase) -> list[TraceArray]:
+    key = (case.workload, case.scale, case.seed, case.n_copies)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = case.build_traces()
+    return _TRACE_CACHE[key]
+
+
+def run_case(case: DifferentialCase) -> PairOutcome:
+    return run_pair(
+        _traces_for(case), case.resolved_config(), cache_impl=case.cache_impl
+    )
+
+
+def _quick_matrix() -> list[DifferentialCase]:
+    mem = SimConfig(cache=CacheConfig(size_bytes=8 * MB))
+    small = SimConfig(
+        cache=CacheConfig(size_bytes=4 * MB, block_bytes=8 * KB)
+    )
+    cases = []
+    for cache_impl in ("fast", "legacy"):
+        cases.extend(
+            [
+                DifferentialCase(
+                    f"memory-{cache_impl}", mem, cache_impl=cache_impl
+                ),
+                DifferentialCase(
+                    f"ssd-{cache_impl}",
+                    SimConfig(cache=ssd_cache(8 * MB)),
+                    cache_impl=cache_impl,
+                ),
+                DifferentialCase(
+                    f"small-blocks-{cache_impl}", small, cache_impl=cache_impl
+                ),
+                DifferentialCase(
+                    f"faulted-{cache_impl}",
+                    SimConfig(cache=ssd_cache(8 * MB)),
+                    fault_spec="error=0.05,slow=0.1,seed=23,max_retries=4",
+                    cache_impl=cache_impl,
+                ),
+                DifferentialCase(
+                    f"ssd-fail-{cache_impl}",
+                    SimConfig(cache=ssd_cache(8 * MB)),
+                    fault_spec="ssd_fail_at=20",
+                    cache_impl=cache_impl,
+                ),
+            ]
+        )
+    cases.append(
+        DifferentialCase(
+            "les-async", SimConfig(cache=CacheConfig(size_bytes=4 * MB)),
+            workload="les", n_copies=1,
+        )
+    )
+    cases.append(
+        DifferentialCase(
+            "crash", mem, fault_spec="crash_at=10",
+        )
+    )
+    return cases
+
+
+QUICK_MATRIX: list[DifferentialCase] = _quick_matrix()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the engine-differential quick matrix."
+    )
+    parser.add_argument(
+        "--artifacts",
+        type=Path,
+        default=None,
+        help="directory for per-mismatch JSON reports (created on demand)",
+    )
+    args = parser.parse_args(argv)
+    failures = 0
+    for case in QUICK_MATRIX:
+        outcome = run_case(case)
+        status = "ok" if outcome.match else "MISMATCH"
+        print(
+            f"{case.name:<24} {case.cache_impl:<7} "
+            f"event={outcome.digests['event'][:16]} "
+            f"batch={outcome.digests['batch'][:16]} {status}"
+        )
+        if not outcome.match:
+            failures += 1
+            if args.artifacts is not None:
+                args.artifacts.mkdir(parents=True, exist_ok=True)
+                report = {
+                    "case": case.name,
+                    "cache_impl": case.cache_impl,
+                    "fault_spec": case.fault_spec,
+                    "digests": outcome.digests,
+                    "divergence": outcome.divergence,
+                }
+                path = args.artifacts / f"{case.name}.json"
+                path.write_text(json.dumps(report, indent=2))
+    print(f"{len(QUICK_MATRIX)} cases, {failures} mismatch(es)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

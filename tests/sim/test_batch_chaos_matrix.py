@@ -1,0 +1,74 @@
+"""Seed-matrix chaos tests: the batch kernel survives fault injection.
+
+Same discipline as the recovery layer's chaos matrix (seeds 11/23/47):
+every seeded fault plan -- injected errors, slowdowns, retry exhaustion,
+and a timed SSD failure that flips the cache into degraded bypass mode
+mid-run -- must produce digest-identical results from the batch kernel
+and the event engine.  Fault injection draws randomness only at device
+submits, which the batch fast path never reaches, so any divergence here
+means the kernel perturbed the RNG stream or the event ordering.
+"""
+
+import pytest
+
+from repro.sim.config import SimConfig, ssd_cache
+from repro.sim.faults import FaultPlan
+from repro.sim.procmodel import relabel_copies
+from repro.sim.system import SimulatedSystem
+from repro.util.rng import DEFAULT_SEED
+from repro.util.units import MB
+from repro.workloads.base import generate_workload
+from tests.harness import assert_equivalent
+
+SEEDS = (11, 23, 47)
+
+
+@pytest.fixture(scope="module")
+def venus_pair():
+    venus = generate_workload("venus", scale=0.05, seed=DEFAULT_SEED)
+    return relabel_copies(venus.trace, 2)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_matches_event_under_seeded_error_plan(venus_pair, seed):
+    plan = FaultPlan.from_spec(
+        f"error=0.05,slow=0.1,seed={seed},max_retries=4"
+    )
+    config = plan.apply(SimConfig(cache=ssd_cache(8 * MB)))
+    outcome = assert_equivalent(
+        venus_pair, config, label=f"error-seed-{seed}"
+    )
+    # The plan actually fired; a vacuous pass would prove nothing.
+    assert outcome.results["event"].faults.injected_errors > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_matches_event_under_retry_exhaustion(venus_pair, seed):
+    # A high error rate with a single retry exercises failed reads and
+    # writes (abandoned frames, re-queued dirty blocks) on both engines.
+    plan = FaultPlan.from_spec(f"error=0.2,seed={seed},max_retries=1")
+    config = plan.apply(SimConfig(cache=ssd_cache(8 * MB)))
+    outcome = assert_equivalent(
+        venus_pair, config, label=f"exhaustion-seed-{seed}"
+    )
+    faults = outcome.results["event"].faults
+    assert faults.failed_reads + faults.failed_writes > 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_matches_event_through_ssd_failure(venus_pair, seed):
+    # Degraded bypass mode after a timed device failure: the fast read
+    # path must disengage the moment the cache degrades.
+    plan = FaultPlan.from_spec(f"error=0.02,seed={seed},ssd_fail_at=20")
+    config = plan.apply(SimConfig(cache=ssd_cache(8 * MB)))
+    outcome = assert_equivalent(
+        venus_pair, config, label=f"ssd-fail-seed-{seed}"
+    )
+    assert outcome.results["event"].faults.degraded_requests > 0
+
+
+def test_batch_matches_event_through_crash(venus_pair):
+    plan = FaultPlan.from_spec("crash_at=10")
+    config = plan.apply(SimConfig(cache=ssd_cache(8 * MB)))
+    outcome = assert_equivalent(venus_pair, config, label="crash")
+    assert outcome.results["event"].faults.crashed

@@ -1,0 +1,132 @@
+"""Equivalence of the batch kernel and the event engine, swept randomly.
+
+The differential harness (:mod:`tests.harness`) is exercised two ways:
+
+* the named quick matrix -- the same cases CI runs standalone -- as a
+  parametrized suite, and
+* hypothesis-driven sweeps over synthetic workloads: random run/jump
+  access patterns, cache geometries, write policies, async mixes and
+  crash-at-T fault plans.  Every drawn tuple must produce bit-identical
+  digests from both engines; a failure shrinks to a minimal workload and
+  names the diverging result fields.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import CacheConfig, SimConfig
+from repro.sim.faults import FaultPlan
+from repro.trace import flags as F
+from repro.trace.array import TraceArray
+from repro.util.units import KB, MB
+from tests.harness import QUICK_MATRIX, assert_equivalent, run_case
+
+BLOCK = 4 * KB
+
+
+@pytest.mark.parametrize("case", QUICK_MATRIX, ids=lambda c: c.name)
+def test_quick_matrix_case(case):
+    outcome = run_case(case)
+    assert outcome.match, "\n".join(outcome.divergence)
+
+
+# ---------------------------------------------------------------------------
+# Random synthetic workloads
+# ---------------------------------------------------------------------------
+@st.composite
+def synthetic_trace(draw, process_id: int) -> TraceArray:
+    """A single-process trace of sequential runs broken by random jumps.
+
+    This mirrors the paper's structure -- constant-size sequential spans
+    -- while the jumps, direction changes and async records exercise the
+    batch kernel's bail-out paths.
+    """
+    n_runs = draw(st.integers(1, 6))
+    file_ids: list[int] = []
+    offsets: list[int] = []
+    lengths: list[int] = []
+    types: list[int] = []
+    deltas: list[int] = []
+    for _ in range(n_runs):
+        fid = draw(st.integers(0, 2))
+        run_len = draw(st.integers(1, 6))
+        length = draw(st.integers(1, 8)) * BLOCK
+        offset = draw(st.integers(0, 200)) * BLOCK
+        rt = F.TRACE_LOGICAL_RECORD
+        if draw(st.booleans()):
+            rt |= F.TRACE_WRITE
+        if draw(st.integers(0, 9)) == 0:
+            rt |= F.TRACE_ASYNC
+        for _ in range(run_len):
+            file_ids.append(fid)
+            offsets.append(offset)
+            lengths.append(length)
+            types.append(rt)
+            deltas.append(draw(st.integers(0, 2000)))
+            offset += length
+    clock = np.cumsum(deltas)
+    n = len(file_ids)
+    return TraceArray.from_columns(
+        record_type=types,
+        file_id=file_ids,
+        process_id=[process_id] * n,
+        operation_id=list(range(n)),
+        offset=offsets,
+        length=lengths,
+        process_clock=clock,
+    )
+
+
+@st.composite
+def workload_strategy(draw) -> list[TraceArray]:
+    n_procs = draw(st.integers(1, 3))
+    return [draw(synthetic_trace(pid)) for pid in range(1, n_procs + 1)]
+
+
+@st.composite
+def config_strategy(draw) -> SimConfig:
+    config = SimConfig(
+        cache=CacheConfig(
+            size_bytes=draw(st.sampled_from([256 * KB, 1 * MB, 4 * MB])),
+            block_bytes=draw(st.sampled_from([4 * KB, 8 * KB])),
+            read_ahead=draw(st.booleans()),
+            write_behind=draw(st.booleans()),
+            flush_delay_s=draw(st.sampled_from([0.0, 0.5])),
+        )
+    )
+    n_cpus = draw(st.sampled_from([1, 1, 2]))
+    if n_cpus != 1:
+        config = config.with_scheduler(n_cpus=n_cpus)
+    return config
+
+
+@settings(max_examples=40, deadline=None)
+@given(traces=workload_strategy(), config=config_strategy())
+def test_batch_matches_event_on_random_workloads(traces, config):
+    assert_equivalent(traces, config, label="random-workload")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    traces=workload_strategy(),
+    config=config_strategy(),
+    crash_at=st.floats(0.5, 30.0),
+)
+def test_batch_matches_event_under_crash_plans(traces, config, crash_at):
+    plan = FaultPlan.from_spec(f"crash_at={crash_at}")
+    assert_equivalent(traces, plan.apply(config), label="crash-plan")
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    traces=workload_strategy(),
+    config=config_strategy(),
+    seed=st.integers(0, 999),
+)
+def test_batch_matches_event_under_error_plans(traces, config, seed):
+    plan = FaultPlan.from_spec(
+        f"error=0.1,slow=0.1,seed={seed},max_retries=3"
+    )
+    assert_equivalent(traces, plan.apply(config), label="error-plan")
