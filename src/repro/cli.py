@@ -23,6 +23,11 @@ Usage (``python -m repro <command>``):
 * ``sweep [--cache-mb LIST] [--block-kb LIST] [--read-ahead on,off]
   [--write-behind on,off] [--jobs N] ...`` -- run a configuration grid
   through the parallel sweep runner with on-disk result memoization;
+* ``serve [--host H] [--port P] [--workers N] [--queue-size N]
+  [--cache-dir DIR] [--no-cache]`` -- run the async sweep server: an
+  HTTP/JSON daemon accepting simulate/sweep jobs, streaming progress as
+  server-sent events and answering with results bit-identical to the
+  CLI (see ``docs/SERVER.md``);
 * ``profile EXPID [--metrics-out FILE] [--events-out FILE]`` -- run one
   experiment with the observability registry enabled and render the
   per-subsystem metrics report (cache hit rates, per-device busy time,
@@ -54,6 +59,7 @@ from repro.core.study import Study
 from repro.exec.cache import ResultCache
 from repro.exec.grid import (
     GridSpec,
+    build_sim_config,
     parse_floats,
     parse_toggles,
     render_sweep_table,
@@ -72,12 +78,11 @@ from repro.obs import (
     render_report,
     use_registry,
 )
-from repro.sim.config import CacheConfig, SimConfig, ssd_cache
 from repro.sim.faults import FaultPlan
 from repro.trace.io import read_any_trace_array, write_trace_array
 from repro.util.errors import SweepError
 from repro.util.rng import DEFAULT_SEED
-from repro.util.units import KB, MB
+from repro.util.units import MB
 from repro.workloads.base import available_models, generate_workload
 
 
@@ -250,16 +255,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # SimConfig field -- results are bit-identical, so the result
         # cache must key both implementations the same).
         os.environ["REPRO_ENGINE_IMPL"] = args.engine_impl
-    cache_kwargs = dict(
-        block_bytes=int(args.block_kb * KB),
+    config = build_sim_config(
+        cache_mb=args.cache_mb,
+        block_kb=args.block_kb,
+        ssd=args.ssd,
         read_ahead=not args.no_read_ahead,
         write_behind=not args.no_write_behind,
+        n_cpus=args.cpus,
     )
-    if args.ssd:
-        cache = ssd_cache(int(args.cache_mb * MB), **cache_kwargs)
-    else:
-        cache = CacheConfig(size_bytes=int(args.cache_mb * MB), **cache_kwargs)
-    config = SimConfig(cache=cache).with_scheduler(n_cpus=args.cpus)
     if args.faults and args.fault_plan:
         print("use either --faults or --fault-plan, not both", file=sys.stderr)
         return 2
@@ -352,6 +355,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     where = "cache disabled" if result_cache is None else f"cache {result_cache.root}"
     print(f"{sweep_summary(results)} | jobs={jobs} | {elapsed:.1f} s | {where}")
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ServeConfig, run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_pending=args.queue_size,
+        cache_dir=args.cache_dir,
+        no_cache=args.no_cache,
+        drain_timeout_s=args.drain_timeout,
+    )
+    return run_server(config)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -533,6 +551,40 @@ def build_parser() -> argparse.ArgumentParser:
         "~/.cache/repro/results)",
     )
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the async sweep server (HTTP/JSON + SSE; docs/SERVER.md)",
+    )
+    p_srv.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; 0.0.0.0 exposes the daemon)",
+    )
+    p_srv.add_argument(
+        "--port", type=int, default=8177,
+        help="bind port (default 8177; 0 picks an ephemeral port)",
+    )
+    p_srv.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job executions (default 2)",
+    )
+    p_srv.add_argument(
+        "--queue-size", type=int, default=16,
+        help="pending-job bound; a full queue answers 429 (default 16)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", default=None,
+        help="result cache root shared with the CLI (default: "
+        "$REPRO_CACHE_DIR or ~/.cache/repro/results)",
+    )
+    p_srv.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    p_srv.add_argument(
+        "--drain-timeout", type=float, default=10.0,
+        help="seconds shutdown waits for running jobs before cancelling",
+    )
+
     p_bench = sub.add_parser(
         "bench", help="run the perf microbenchmark suite"
     )
@@ -626,6 +678,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "figures": _cmd_figures,
 }

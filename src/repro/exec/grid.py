@@ -19,6 +19,35 @@ from repro.util.tables import TextTable
 from repro.util.units import KB, MB
 
 
+def build_sim_config(
+    *,
+    cache_mb: float,
+    block_kb: float,
+    ssd: bool = False,
+    read_ahead: bool = True,
+    write_behind: bool = True,
+    n_cpus: int = 1,
+) -> SimConfig:
+    """One :class:`SimConfig` from CLI/server-shaped knobs.
+
+    Single source of truth for turning user-facing units (MB caches, KB
+    blocks, on/off toggles) into a config: ``repro simulate``, the sweep
+    grid and the sweep server all build configs here, which is what
+    guarantees a job submitted over HTTP produces the *same* point key
+    -- and therefore the same cached result and digest -- as the CLI.
+    """
+    kwargs = dict(
+        block_bytes=int(block_kb * KB),
+        read_ahead=read_ahead,
+        write_behind=write_behind,
+    )
+    if ssd:
+        cache = ssd_cache(int(cache_mb * MB), **kwargs)
+    else:
+        cache = CacheConfig(size_bytes=int(cache_mb * MB), **kwargs)
+    return SimConfig(cache=cache).with_scheduler(n_cpus=n_cpus)
+
+
 def _parse_axis(text: str, convert) -> tuple:
     """Parse a comma-separated CLI axis (``"4,8,16"``) into a tuple."""
     values = tuple(convert(tok.strip()) for tok in text.split(",") if tok.strip())
@@ -85,19 +114,13 @@ class GridSpec:
             for cache_mb in self.cache_sizes_mb:
                 for ra in self.read_ahead:
                     for wb in self.write_behind:
-                        kwargs = dict(
-                            block_bytes=int(block_kb * KB),
+                        config = build_sim_config(
+                            cache_mb=cache_mb,
+                            block_kb=block_kb,
+                            ssd=self.ssd,
                             read_ahead=ra,
                             write_behind=wb,
-                        )
-                        if self.ssd:
-                            cache = ssd_cache(int(cache_mb * MB), **kwargs)
-                        else:
-                            cache = CacheConfig(
-                                size_bytes=int(cache_mb * MB), **kwargs
-                            )
-                        config = SimConfig(cache=cache).with_scheduler(
-                            n_cpus=self.n_cpus
+                            n_cpus=self.n_cpus,
                         )
                         label = (
                             f"{self.n_copies}x{self.app} {kind} "

@@ -46,9 +46,9 @@ import os
 import time
 import warnings
 from collections import OrderedDict
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Callable, Sequence, Union
 
 from repro.exec.cache import ResultCache
 from repro.exec.keys import point_key
@@ -64,7 +64,7 @@ from repro.sim.metrics import SimulationResult
 from repro.sim.procmodel import relabel_copies
 from repro.sim.system import simulate
 from repro.trace.array import TraceArray
-from repro.util.errors import SweepError
+from repro.util.errors import SweepCancelled, SweepError
 from repro.util.rng import DEFAULT_SEED
 
 
@@ -391,6 +391,20 @@ def _simulate_point(point: SweepPointSpec, sim_seed: int) -> SimulationResult:
     return simulate(traces, point.config.with_seed(sim_seed))
 
 
+#: Transport errors :func:`~repro.exec.shm.attach_workload` can actually
+#: raise: the segment is gone or was never created (``OSError``, which
+#: covers ``FileNotFoundError``), or its size/layout does not match the
+#: ref (``ValueError`` from the size check or view construction).
+#: Anything else is a real bug and must propagate, not silently turn
+#: the fan-out off.
+_ATTACH_ERRORS = (OSError, ValueError)
+
+#: Segments this process has already warned about failing to attach --
+#: one RuntimeWarning per segment (i.e. per workload per sweep), not one
+#: per point, so a degraded 100-point sweep does not print 100 warnings.
+_ATTACH_WARNED: set = set()
+
+
 def _simulate_point_shared(
     point: SweepPointSpec,
     sim_seed: int,
@@ -400,15 +414,28 @@ def _simulate_point_shared(
 
     The attach is strictly an input transport: the views are read-only
     and byte-identical to what ``materialize()`` builds, so results are
-    bit-identical either way -- a failed attach silently degrades to the
-    per-worker path rather than failing the point.
+    bit-identical either way -- a failed attach degrades to the
+    per-worker path rather than failing the point.  Degradation is
+    *visible*: each failure bumps ``exec.shm.attach_failures`` and the
+    first failure per segment emits a RuntimeWarning, so a sweep whose
+    fan-out quietly fell back to per-worker materialization no longer
+    looks identical to one that shared every workload.
     """
     traces = None
     if shared is not None:
         try:
             traces = attach_workload(shared)
-        except Exception:
-            traces = None
+        except _ATTACH_ERRORS as exc:
+            get_registry().counter("exec.shm.attach_failures").inc()
+            if shared.segment not in _ATTACH_WARNED:
+                _ATTACH_WARNED.add(shared.segment)
+                warnings.warn(
+                    f"shared-memory attach failed for segment "
+                    f"{shared.segment} ({type(exc).__name__}: {exc}); "
+                    "materializing this workload from its spec",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     if traces is None:
         traces = point.workload.materialize()
     return simulate(traces, point.config.with_seed(sim_seed))
@@ -432,12 +459,29 @@ class SweepRunner:
     platform supports it (``$REPRO_SHM=off`` disables); ``True``/``False``
     force it.  The transport never changes results -- workers that
     cannot attach materialize from their spec as before.
+
+    Observation hooks (both optional, both outside the determinism
+    contract -- they never touch what is simulated):
+
+    * ``progress`` is called with one dict per lifecycle event:
+      ``{"event": "sweep_start", "points": N, "todo": M, "cached": K}``
+      once up front, then ``{"event": "point_done", "index", "label",
+      "key", "cached", "elapsed_s"}`` per point *as it completes* (cache
+      hits first, then live points in completion order).  The sweep
+      server bridges these into per-job server-sent event streams.
+    * ``should_cancel`` is polled between points (serial) and between
+      completions (pool, every ``_CANCEL_POLL_S``); once it returns
+      true the runner cancels queued futures, waits out running ones,
+      tears down shared memory and raises
+      :class:`~repro.util.errors.SweepCancelled`.
     """
 
     jobs: int | None = 1
     cache: ResultCache | None = None
     seed: int | None = None
     shared_memory: bool | None = None
+    progress: Callable[[dict], None] | None = None
+    should_cancel: Callable[[], bool] | None = None
     #: points simulated (not served from cache) over this runner's lifetime
     simulated: int = field(default=0, init=False)
     #: points served from the result cache
@@ -475,10 +519,22 @@ class SweepRunner:
             else:
                 todo.append(i)
 
+        self._notify(
+            event="sweep_start",
+            points=len(points),
+            todo=len(todo),
+            cached=len(points) - len(todo),
+        )
+        for i in range(len(points)):
+            if cached[i]:
+                self._notify_point(points, keys, elapsed, i, cached=True)
+
         if todo:
+            self._check_cancelled()
             n_jobs = self.effective_jobs(len(todo))
             if n_jobs == 1:
                 for i in todo:
+                    self._check_cancelled()
                     t0 = time.perf_counter()
                     with reg.span(
                         "exec.runner.point_s",
@@ -486,12 +542,15 @@ class SweepRunner:
                     ):
                         results[i] = self._guarded(points[i], seeds[i])
                     elapsed[i] = time.perf_counter() - t0
+                    self._notify_point(points, keys, elapsed, i, cached=False)
             else:
                 # Workers are separate processes: their in-process
                 # metrics do not flow back; only per-point wall time and
                 # the counters below are recorded here.
                 with reg.span("exec.runner.pool_s", label=f"jobs={n_jobs}"):
-                    self._run_pool(points, seeds, todo, n_jobs, results, elapsed)
+                    self._run_pool(
+                        points, seeds, todo, n_jobs, results, elapsed, keys
+                    )
             for i in todo:
                 if self.cache is not None:
                     self.cache.put(keys[i], results[i])
@@ -515,6 +574,41 @@ class SweepRunner:
             )
             for i in range(len(points))
         ]
+
+    def _notify(self, **event) -> None:
+        """Deliver one progress event to the hook (if any).
+
+        Hook exceptions propagate: the hook belongs to the caller, and
+        swallowing its bugs here would hide them behind a sweep that
+        "worked" while reporting nothing.
+        """
+        if self.progress is not None:
+            self.progress(dict(event))
+
+    def _notify_point(
+        self,
+        points: list[SweepPointSpec],
+        keys: list[str],
+        elapsed: list[float],
+        i: int,
+        *,
+        cached: bool,
+    ) -> None:
+        self._notify(
+            event="point_done",
+            index=i,
+            label=points[i].label or keys[i][:12],
+            key=keys[i],
+            cached=cached,
+            elapsed_s=elapsed[i],
+        )
+
+    def _cancelled(self) -> bool:
+        return self.should_cancel is not None and bool(self.should_cancel())
+
+    def _check_cancelled(self) -> None:
+        if self._cancelled():
+            raise SweepCancelled("sweep cancelled before completion")
 
     def _guarded(self, point: SweepPointSpec, seed: int) -> SimulationResult:
         try:
@@ -540,10 +634,14 @@ class SweepRunner:
         publish fails is simply not shared (its workers materialize and
         report errors exactly as the per-worker path would), so the
         fan-out can never turn a runnable sweep into a failing one or
-        mask a point's real error with a transport error.
+        mask a point's real error with a transport error.  A skipped
+        workload is counted (``exec.shm.publish_skipped``) and warned
+        about with the exception type, so operators can see *why*
+        sharing degraded instead of a silently slower sweep.
         """
         if not self._shm_enabled():
             return None, {}
+        reg = get_registry()
         publisher = SegmentPublisher()
         refs: dict = {}
         for i in todo:
@@ -552,8 +650,17 @@ class SweepRunner:
                 continue
             try:
                 traces = spec.materialize()
-            except Exception:
+            except Exception as exc:
                 refs[spec] = None
+                reg.counter("exec.shm.publish_skipped").inc()
+                warnings.warn(
+                    f"workload for point {points[i].label or i!r} could "
+                    f"not be pre-materialized for sharing "
+                    f"({type(exc).__name__}: {exc}); its workers will "
+                    "materialize from the spec and surface any real error",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue
             refs[spec] = publisher.publish(traces)
         return publisher, refs
@@ -566,17 +673,23 @@ class SweepRunner:
         n_jobs: int,
         results: list,
         elapsed: list[float],
+        keys: list[str],
     ) -> None:
         publisher, refs = self._publish_workloads(points, todo)
         try:
             self._drive_pool(
-                points, seeds, todo, n_jobs, results, elapsed, refs
+                points, seeds, todo, n_jobs, results, elapsed, refs, keys
             )
         finally:
-            # Success, failure and Ctrl-C all unlink every segment;
-            # workers' existing attachments stay valid until pool exit.
+            # Success, failure, cancellation and Ctrl-C all unlink every
+            # segment; workers' existing attachments stay valid until
+            # pool exit.
             if publisher is not None:
                 publisher.close()
+
+    #: How often the pool loop wakes to poll ``should_cancel`` while no
+    #: point has completed.  Only paid when a cancel hook is installed.
+    _CANCEL_POLL_S = 0.05
 
     def _drive_pool(
         self,
@@ -587,8 +700,10 @@ class SweepRunner:
         results: list,
         elapsed: list[float],
         refs: dict,
+        keys: list[str],
     ) -> None:
         t0 = time.perf_counter()
+        poll_s = self._CANCEL_POLL_S if self.should_cancel is not None else None
         with ProcessPoolExecutor(max_workers=n_jobs) as pool:
             futures = {
                 pool.submit(
@@ -599,26 +714,43 @@ class SweepRunner:
                 ): i
                 for i in todo
             }
-            # Fail fast: the first broken point cancels everything still
-            # queued instead of letting the pool grind on (or hang).
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            first_error: tuple[int, BaseException] | None = None
-            for future in done:
-                i = futures[future]
-                exc = future.exception()
-                if exc is not None:
-                    if first_error is None or todo.index(i) < todo.index(
-                        first_error[0]
-                    ):
-                        first_error = (i, exc)
-                else:
+            pending = set(futures)
+            while pending:
+                if self._cancelled():
+                    unfinished = self._abandon(pending)
+                    raise SweepCancelled(
+                        f"sweep cancelled with {unfinished} point(s) "
+                        "unfinished"
+                    )
+                done, pending = wait(
+                    pending, timeout=poll_s, return_when=FIRST_COMPLETED
+                )
+                # Handle completions in submission order so the same
+                # point wins any first-error race on every run.
+                for future in sorted(
+                    done, key=lambda f: todo.index(futures[f])
+                ):
+                    i = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # Fail fast: the first broken point cancels
+                        # everything still queued instead of letting the
+                        # pool grind on (or hang).
+                        self._abandon(pending)
+                        point = points[i]
+                        raise SweepError(
+                            f"sweep point "
+                            f"{point.label or point.workload!r} "
+                            f"failed: {exc}"
+                        ) from exc
                     results[i] = future.result()
                     elapsed[i] = time.perf_counter() - t0
-            if first_error is not None:
-                for future in not_done:
-                    future.cancel()
-                i, exc = first_error
-                point = points[i]
-                raise SweepError(
-                    f"sweep point {point.label or point.workload!r} failed: {exc}"
-                ) from exc
+                    self._notify_point(points, keys, elapsed, i, cached=False)
+
+    @staticmethod
+    def _abandon(pending: set) -> int:
+        """Cancel queued futures, wait out running ones; count losses."""
+        for future in pending:
+            future.cancel()
+        wait(pending)
+        return len(pending)

@@ -19,15 +19,23 @@ benchmark numbers unchanged.
 Threading the registry
 ----------------------
 Components accept an explicit ``obs`` argument and fall back to the
-process-wide *active* registry (:func:`get_registry`).  The CLI's
-``profile`` command installs an enabled registry with
-:func:`use_registry` around one experiment run and renders what
-accumulated.  Worker processes of a parallel sweep start with the null
-registry, so profiling is an in-process (``jobs=1``) affair by design.
+*active* registry (:func:`get_registry`).  The CLI's ``profile``
+command installs an enabled registry with :func:`use_registry` around
+one experiment run and renders what accumulated.  Worker processes of a
+parallel sweep start with the null registry, so profiling is an
+in-process (``jobs=1``) affair by design.
+
+:func:`use_registry` installs its registry for the *calling thread*
+only (falling back to the process default set by :func:`set_registry`).
+Single-threaded callers see no difference, but concurrent jobs -- e.g.
+the sweep server executing several requests in a worker-thread pool --
+each get their own isolated instruments instead of trampling one
+process-wide global.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
@@ -274,27 +282,35 @@ class MetricsRegistry:
 #: Shared disabled registry: the default for every instrumented component.
 NULL_REGISTRY = MetricsRegistry(enabled=False)
 
-_active: MetricsRegistry = NULL_REGISTRY
+_default: MetricsRegistry = NULL_REGISTRY
+_local = threading.local()
 
 
 def get_registry() -> MetricsRegistry:
-    """The process-wide active registry (the null registry by default)."""
-    return _active
+    """The active registry: this thread's override, else the process
+    default (the null registry out of the box)."""
+    registry = getattr(_local, "registry", None)
+    return registry if registry is not None else _default
 
 
 def set_registry(registry: MetricsRegistry | None) -> None:
-    """Install ``registry`` as the active one (None restores the null)."""
-    global _active
-    _active = registry if registry is not None else NULL_REGISTRY
+    """Install ``registry`` as the process default (None restores the
+    null registry).  Threads inside a :func:`use_registry` context keep
+    their own override."""
+    global _default
+    _default = registry if registry is not None else NULL_REGISTRY
 
 
 @contextmanager
 def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
-    """Scoped :func:`set_registry`; restores the previous registry."""
-    global _active
-    previous = _active
-    _active = registry
+    """Scoped thread-local override; restores the previous registry.
+
+    Only the calling thread sees ``registry``; concurrent threads (e.g.
+    other jobs in the sweep server's worker pool) keep their own.
+    """
+    previous = getattr(_local, "registry", None)
+    _local.registry = registry
     try:
         yield registry
     finally:
-        _active = previous
+        _local.registry = previous

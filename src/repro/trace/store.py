@@ -293,9 +293,17 @@ def read_store_header(path: str | Path) -> StoreHeader:
             if len(raw_len) != 8:
                 raise StoreFormatError(f"{path}: truncated header length")
             header_len = int.from_bytes(raw_len, "little")
-            if header_len <= 0 or header_len > size:
+            # The header must fit after the magic + length prologue.
+            # Bounding against the whole file size would let a header
+            # length inside the prologue's own byte budget pass here and
+            # surface later as a confusing short-read or mmap error.
+            prologue = len(STORE_MAGIC) + 8
+            if header_len <= 0 or header_len > size - prologue:
                 raise StoreFormatError(
-                    f"{path}: header length {header_len} out of range"
+                    f"{path}: header length {header_len} out of range "
+                    f"(file holds {max(0, size - prologue)} bytes past "
+                    f"the {prologue}-byte prologue; offsets "
+                    f"[{prologue}, {prologue + header_len}) required)"
                 )
             header_bytes = fh.read(header_len)
             if len(header_bytes) != header_len:

@@ -49,6 +49,16 @@ class SweepError(ReproError):
     """
 
 
+class SweepCancelled(SweepError):
+    """A sweep stopped because its ``should_cancel`` hook fired.
+
+    Raised by :class:`~repro.exec.runner.SweepRunner` between points
+    (serial) or between point completions (pool) once cancellation is
+    requested; already-queued pool futures are cancelled and shared
+    memory is torn down before this propagates.
+    """
+
+
 class RuntimeAPIError(ReproError):
     """Misuse of the simulated application runtime's file API.
 

@@ -322,3 +322,93 @@ class TestKeyInvariance:
         key_batch = point.key(sweep_seed=7)
         monkeypatch.delenv("REPRO_ENGINE_IMPL")
         assert key_event == key_batch == point.key(sweep_seed=7)
+
+
+class TestProgressHook:
+    def test_event_sequence_and_order(self):
+        events = []
+        runner = SweepRunner(jobs=1, progress=events.append)
+        runner.run(two_venus_points())
+        assert events[0] == {
+            "event": "sweep_start", "points": 2, "todo": 2, "cached": 0,
+        }
+        done = [e for e in events[1:] if e["event"] == "point_done"]
+        assert [e["index"] for e in done] == [0, 1]
+        assert all(not e["cached"] for e in done)
+        assert all(e["key"] for e in done)
+
+    def test_cache_hits_reported_as_cached(self, tmp_path):
+        points = two_venus_points()
+        cache = ResultCache(root=tmp_path)
+        SweepRunner(jobs=1, cache=cache).run(points)
+        events = []
+        SweepRunner(jobs=1, cache=cache, progress=events.append).run(points)
+        assert events[0]["cached"] == 2 and events[0]["todo"] == 0
+        assert all(
+            e["cached"] for e in events[1:] if e["event"] == "point_done"
+        )
+
+    def test_hook_exceptions_propagate(self):
+        def hook(event):
+            raise ValueError("broken hook")
+
+        with pytest.raises(ValueError, match="broken hook"):
+            SweepRunner(jobs=1, progress=hook).run(two_venus_points())
+
+
+class TestCancellation:
+    def test_serial_cancel_between_points(self):
+        from repro.util.errors import SweepCancelled
+
+        done = []
+
+        def progress(event):
+            if event["event"] == "point_done":
+                done.append(event)
+
+        runner = SweepRunner(
+            jobs=1, progress=progress, should_cancel=lambda: len(done) >= 1
+        )
+        with pytest.raises(SweepCancelled):
+            runner.run(two_venus_points())
+        assert len(done) == 1
+
+    def test_pool_cancel_abandons_pending(self):
+        from repro.util.errors import SweepCancelled
+
+        calls = []
+
+        def cancel_after_first_poll():
+            calls.append(None)
+            return len(calls) > 1  # pre-pool check passes, loop check fires
+
+        runner = SweepRunner(jobs=2, should_cancel=cancel_after_first_poll)
+        with pytest.raises(SweepCancelled, match="unfinished"):
+            runner.run(two_venus_points())
+
+    def test_pool_cancel_leaves_no_shm_segments(self):
+        from tests.exec.test_shm import shm_leftovers
+        from repro.util.errors import SweepCancelled
+
+        calls = []
+
+        def cancel_late():
+            calls.append(None)
+            return len(calls) > 1
+
+        before = shm_leftovers()
+        runner = SweepRunner(
+            jobs=2, shared_memory=True, should_cancel=cancel_late
+        )
+        with pytest.raises(SweepCancelled):
+            runner.run(two_venus_points())
+        assert shm_leftovers() <= before
+
+    def test_no_hooks_no_behavior_change(self):
+        plain = SweepRunner(jobs=1).run(two_venus_points())
+        hooked = SweepRunner(
+            jobs=1, progress=lambda e: None, should_cancel=lambda: False
+        ).run(two_venus_points())
+        assert [p.result.digest() for p in plain] == [
+            p.result.digest() for p in hooked
+        ]

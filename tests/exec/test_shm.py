@@ -160,3 +160,78 @@ class TestSweepEquivalence:
         on = SweepRunner(jobs=2).run(points)
         for a, b in zip(off, on):
             assert a.result.digest() == b.result.digest()
+
+
+class TestAttachFailureVisibility:
+    """Regression: a failed attach used to be swallowed silently.
+
+    The fallback still runs (results stay correct), but every failure
+    now bumps ``exec.shm.attach_failures`` and the *first* failure per
+    segment emits one RuntimeWarning -- a degraded sweep is visible.
+    """
+
+    @pytest.fixture(autouse=True)
+    def fresh_warn_state(self, monkeypatch):
+        from repro.exec import runner
+
+        monkeypatch.setattr(runner, "_ATTACH_WARNED", set())
+
+    def test_failure_counted_and_warned_once_per_segment(self):
+        point = venus_points()[0]
+        bogus = SharedWorkload(segment="psm_vanished", traces=(), nbytes=1)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.warns(RuntimeWarning, match="psm_vanished"):
+                _simulate_point_shared(point, point.config.seed, bogus)
+            # second point, same dead segment: counted again, no new warning
+            import warnings as warnings_module
+
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error", RuntimeWarning)
+                _simulate_point_shared(point, point.config.seed, bogus)
+        assert registry.counters()["exec.shm.attach_failures"] == 2
+
+    def test_distinct_segments_warn_separately(self):
+        point = venus_points()[0]
+        with pytest.warns(RuntimeWarning, match="psm_first"):
+            _simulate_point_shared(
+                point,
+                point.config.seed,
+                SharedWorkload(segment="psm_first", traces=(), nbytes=1),
+            )
+        with pytest.warns(RuntimeWarning, match="psm_second"):
+            _simulate_point_shared(
+                point,
+                point.config.seed,
+                SharedWorkload(segment="psm_second", traces=(), nbytes=1),
+            )
+
+
+class TestPublishSkipVisibility:
+    """Regression: a workload whose pre-materialization failed used to be
+    dropped from sharing with no trace at all."""
+
+    @pytest.mark.skipif(not shm_available(), reason="no shared memory here")
+    def test_skip_counted_and_warned_with_exception_type(self):
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class ExplodingSpec:
+            def materialize(self):
+                raise RuntimeError("no columns today")
+
+            def key_material(self):
+                return {"kind": "exploding"}
+
+        point = SweepPointSpec(
+            workload=ExplodingSpec(), config=SimConfig(), label="boom"
+        )
+        runner = SweepRunner(jobs=2, shared_memory=True)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.warns(RuntimeWarning, match="RuntimeError"):
+                publisher, refs = runner._publish_workloads([point], [0])
+        if publisher is not None:
+            publisher.close()
+        assert refs[point.workload] is None
+        assert registry.counters()["exec.shm.publish_skipped"] == 1

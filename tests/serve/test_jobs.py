@@ -1,0 +1,136 @@
+"""Job spec parsing: HTTP bodies must build exactly the CLI's points."""
+
+import pytest
+
+from repro.exec.grid import GridSpec, build_sim_config
+from repro.exec.runner import TraceFileSpec
+from repro.serve.jobs import JobSpecError, JobState, parse_job, MAX_RUNNER_JOBS
+from repro.util.rng import DEFAULT_SEED
+
+
+def sweep_body(**spec):
+    return {"kind": "sweep", "spec": spec}
+
+
+class TestSweepSpec:
+    def test_points_match_grid_spec_exactly(self):
+        """The bit-identity root: an HTTP sweep body and the equivalent
+        ``repro sweep`` flags must produce the same point keys."""
+        job = parse_job(
+            sweep_body(
+                app="venus", copies=2, scale=0.05,
+                cache_mb=[8, 32], block_kb="4,8",
+                read_ahead="on,off",
+            ),
+            "j000001",
+        )
+        grid = GridSpec(
+            app="venus", n_copies=2, scale=0.05,
+            cache_sizes_mb=(8.0, 32.0), block_sizes_kb=(4.0, 8.0),
+            read_ahead=(True, False),
+        )
+        expected = grid.points()
+        assert len(job.points) == len(expected) == 8
+        assert [p.key(None) for p in job.points] == [
+            p.key(None) for p in expected
+        ]
+        assert [p.label for p in job.points] == [p.label for p in expected]
+
+    def test_defaults_are_the_cli_defaults(self):
+        job = parse_job(sweep_body(), "j000001")
+        grid = GridSpec()  # repro sweep defaults mirror GridSpec defaults
+        assert len(job.points) == 14
+        assert job.points[0].key(None) == grid.points()[0].key(None)
+        assert job.state is JobState.QUEUED
+        assert job.runner_jobs == 1
+
+    def test_scalar_axes_accepted(self):
+        job = parse_job(
+            sweep_body(cache_mb=16, block_kb=4.0, read_ahead=False),
+            "j000001",
+        )
+        assert len(job.points) == 1
+        assert job.points[0].config.cache.read_ahead is False
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown application"):
+            parse_job(sweep_body(app="fortran77"), "j000001")
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(JobSpecError, match="cache_mb"):
+            parse_job(sweep_body(cache_mb="four,eight"), "j000001")
+        with pytest.raises(JobSpecError, match="read_ahead"):
+            parse_job(sweep_body(read_ahead="maybe"), "j000001")
+
+
+class TestSimulateSpec:
+    def test_workload_and_config_mirror_the_cli(self):
+        job = parse_job(
+            {
+                "kind": "simulate",
+                "spec": {
+                    "traces": ["/tmp/a.trc", "/tmp/b.trc"],
+                    "cache_mb": 64, "block_kb": 8, "ssd": True,
+                    "share_files": True, "trace_store": True,
+                },
+            },
+            "j000002",
+        )
+        (point,) = job.points
+        assert point.workload == TraceFileSpec(
+            paths=("/tmp/a.trc", "/tmp/b.trc"),
+            share_files=True, use_store=True,
+        )
+        assert point.config == build_sim_config(
+            cache_mb=64, block_kb=8, ssd=True
+        )
+
+    def test_inline_faults_applied(self):
+        job = parse_job(
+            {
+                "kind": "simulate",
+                "spec": {"traces": ["/tmp/a.trc"],
+                         "faults": "error=0.05,max_retries=4"},
+            },
+            "j000003",
+        )
+        assert job.points[0].config.faults is not None
+
+    def test_faults_and_plan_conflict(self):
+        with pytest.raises(JobSpecError, match="not both"):
+            parse_job(
+                {
+                    "kind": "simulate",
+                    "spec": {"traces": ["/t"], "faults": "error=0.1",
+                             "fault_plan": {"faults": {}}},
+                },
+                "j000004",
+            )
+
+    def test_traces_required(self):
+        with pytest.raises(JobSpecError, match="traces"):
+            parse_job({"kind": "simulate", "spec": {}}, "j000005")
+
+
+class TestEnvelope:
+    def test_unknown_kind(self):
+        with pytest.raises(JobSpecError, match="unknown job kind"):
+            parse_job({"kind": "compile"}, "j000001")
+
+    def test_bad_priority(self):
+        with pytest.raises(JobSpecError, match="priority"):
+            parse_job(sweep_body() | {"priority": "urgent"}, "j000001")
+
+    def test_jobs_bound_enforced(self):
+        with pytest.raises(JobSpecError, match="jobs"):
+            parse_job(sweep_body(jobs=MAX_RUNNER_JOBS + 1), "j000001")
+        with pytest.raises(JobSpecError, match="jobs"):
+            parse_job(sweep_body(jobs=0), "j000001")
+
+    def test_non_object_spec(self):
+        with pytest.raises(JobSpecError, match="spec"):
+            parse_job({"kind": "sweep", "spec": [1]}, "j000001")
+
+    def test_seed_defaults_to_default_seed(self):
+        job = parse_job(sweep_body(cache_mb=8, block_kb=4), "j000001")
+        assert job.points[0].workload.seed == DEFAULT_SEED

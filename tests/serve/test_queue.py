@@ -1,0 +1,121 @@
+"""JobQueue: priority order, admission control, close semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.queue import JobQueue, QueueClosed, QueueFull
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOrdering:
+    def test_higher_priority_pops_first(self):
+        async def go():
+            q = JobQueue(max_pending=8)
+            q.put_nowait("low", priority=0)
+            q.put_nowait("high", priority=5)
+            q.put_nowait("mid", priority=1)
+            return [await q.get() for _ in range(3)]
+
+        assert run(go()) == ["high", "mid", "low"]
+
+    def test_equal_priority_is_fifo(self):
+        async def go():
+            q = JobQueue(max_pending=8)
+            for name in ("a", "b", "c"):
+                q.put_nowait(name, priority=3)
+            return [await q.get() for _ in range(3)]
+
+        assert run(go()) == ["a", "b", "c"]
+
+    def test_get_waits_for_put(self):
+        async def go():
+            q = JobQueue(max_pending=2)
+            getter = asyncio.ensure_future(q.get())
+            await asyncio.sleep(0)
+            assert not getter.done()
+            q.put_nowait("late")
+            return await getter
+
+        assert run(go()) == "late"
+
+
+class TestAdmission:
+    def test_full_queue_rejects(self):
+        async def go():
+            q = JobQueue(max_pending=2)
+            q.put_nowait("a")
+            q.put_nowait("b")
+            assert q.full
+            with pytest.raises(QueueFull, match="bound 2"):
+                q.put_nowait("c")
+            # popping one frees a slot again
+            assert await q.get() == "a"
+            q.put_nowait("c")
+            assert len(q) == 2
+
+        run(go())
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            JobQueue(max_pending=0)
+
+
+class TestRemoveDrain:
+    def test_remove_pending_job(self):
+        async def go():
+            q = JobQueue(max_pending=8)
+            q.put_nowait("a")
+            q.put_nowait("b", priority=2)
+            q.put_nowait("c")
+            assert q.remove("b") is True
+            assert q.remove("b") is False  # identity: already gone
+            return [await q.get() for _ in range(2)]
+
+        assert run(go()) == ["a", "c"]
+
+    def test_drain_returns_all_in_order(self):
+        async def go():
+            q = JobQueue(max_pending=8)
+            q.put_nowait("low", priority=0)
+            q.put_nowait("high", priority=9)
+            drained = q.drain()
+            assert len(q) == 0
+            return drained
+
+        assert run(go()) == ["high", "low"]
+
+
+class TestClose:
+    def test_closed_rejects_puts(self):
+        async def go():
+            q = JobQueue(max_pending=2)
+            q.close()
+            with pytest.raises(QueueClosed):
+                q.put_nowait("x")
+
+        run(go())
+
+    def test_close_wakes_waiters_with_none(self):
+        async def go():
+            q = JobQueue(max_pending=2)
+            getters = [asyncio.ensure_future(q.get()) for _ in range(3)]
+            await asyncio.sleep(0)
+            q.close()
+            return await asyncio.gather(*getters)
+
+        assert run(go()) == [None, None, None]
+
+    def test_get_drains_remaining_after_close(self):
+        async def go():
+            q = JobQueue(max_pending=2)
+            q.put_nowait("leftover")
+            q.close()
+            first = await q.get()
+            second = await q.get()
+            return first, second
+
+        assert run(go()) == ("leftover", None)

@@ -250,3 +250,52 @@ class TestCompileCache:
         alias.write_bytes(entry.read_bytes())
         with pytest.warns(RuntimeWarning, match="unusable"):
             assert cache.load("ab" * 32) is None
+
+
+class TestHeaderLengthBound:
+    """Regression: the header-length check compared against the whole
+    file size, admitting headers that overlap the prologue's own bytes
+    or run past EOF; it must bound against ``size - prologue``."""
+
+    PROLOGUE = len(store.STORE_MAGIC) + 8
+
+    def craft(self, tmp_path, header_len: int, trailing: int):
+        path = tmp_path / "crafted.rpt"
+        path.write_bytes(
+            store.STORE_MAGIC
+            + header_len.to_bytes(8, "little")
+            + b"\0" * trailing
+        )
+        return path
+
+    def test_header_len_overrunning_eof_rejected_with_offsets(self, tmp_path):
+        # size = prologue + 60, header_len = 64: the old whole-file bound
+        # (64 <= 76) admitted this; the read then came up short.  Now it
+        # is rejected up front with the byte offsets spelled out.
+        path = self.craft(tmp_path, header_len=64, trailing=60)
+        with pytest.raises(StoreFormatError, match="out of range") as err:
+            store.read_store_header(path)
+        message = str(err.value)
+        assert "60 bytes" in message  # what the file actually holds
+        assert f"[{self.PROLOGUE}, {self.PROLOGUE + 64})" in message
+
+    def test_zero_and_negative_header_len_rejected(self, tmp_path):
+        path = self.craft(tmp_path, header_len=0, trailing=32)
+        with pytest.raises(StoreFormatError, match="out of range"):
+            store.read_store_header(path)
+
+    def test_exactly_fitting_header_len_passes_bound(self, tmp_path):
+        # header occupies every byte past the prologue: the bound itself
+        # admits it; failure is then the header's garbage JSON, not the
+        # length check.
+        path = self.craft(tmp_path, header_len=16, trailing=16)
+        with pytest.raises(StoreFormatError) as err:
+            store.read_store_header(path)
+        assert "out of range" not in str(err.value)
+
+    def test_valid_store_still_reads(self, tmp_path, venus_trace):
+        path = store.write_store(
+            tmp_path / "ok.rpt", venus_trace, source={"sha256": "ok"}
+        )
+        header = store.read_store_header(path)
+        assert header.records == len(venus_trace)
