@@ -71,6 +71,11 @@ class ResultCache:
 
     root: Path = field(default_factory=default_cache_dir)
     counters: CacheCounters = field(default_factory=CacheCounters)
+    #: keys whose corrupt entry was already warned about -- one
+    #: RuntimeWarning per key (mirroring the per-segment shm attach
+    #: warning), not one per lookup, so a hot key with a rotten entry
+    #: does not flood a long sweep; every occurrence is still counted.
+    _corrupt_warned: set = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -83,8 +88,14 @@ class ResultCache:
 
         Unreadable or mismatched entries count as misses: a stale or
         corrupted file must never poison a sweep, only cost a re-run.
-        Unlike a plain absent entry, a *corrupt* one is surfaced -- a
-        counter and a warning -- so silent cache rot is visible.
+        Unlike a plain absent entry, a *corrupt* one is surfaced --
+        every occurrence bumps ``exec.cache.corrupt_entries`` and the
+        first occurrence per key emits one RuntimeWarning -- so silent
+        cache rot is visible without flooding.
+
+        A hit refreshes the entry's timestamps (``os.utime``), giving
+        tiered caches (:mod:`repro.exec.cache_tiers`) a reliable LRU
+        clock even on ``noatime``/``relatime`` mounts.
         """
         path = self.path_for(key)
         try:
@@ -104,14 +115,20 @@ class ResultCache:
             self.counters.misses += 1
             self.counters.corrupt += 1
             get_registry().counter("exec.cache.corrupt_entries").inc()
-            warnings.warn(
-                f"result cache entry {path} is unreadable "
-                f"({type(exc).__name__}: {exc}); treating as a miss",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            if key not in self._corrupt_warned:
+                self._corrupt_warned.add(key)
+                warnings.warn(
+                    f"result cache entry {path} is unreadable "
+                    f"({type(exc).__name__}: {exc}); treating as a miss",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return None
         self.counters.hits += 1
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return result
 
     def put(self, key: str, result: SimulationResult) -> Path | None:

@@ -1,0 +1,428 @@
+"""Tiered result caching: a local disk tier in front of a shared tier.
+
+The DVC-remote shape: every process keeps a fast **local** tier (first
+consulted, always written) and may layer a **shared** directory tier
+behind it -- a network mount or other common directory that many hosts
+populate and read.  ``get`` reads through (local miss falls back to the
+shared tier, and a shared hit is *promoted* into the local tier);
+``put`` writes back to both.
+
+Each tier is a :class:`~repro.exec.cache.ResultCache` directory plus:
+
+* **GC under a size budget** -- :meth:`CacheTier.gc` evicts least
+  recently *used* entries (the cache touches atime+mtime on every hit,
+  so the LRU clock works even on ``noatime`` mounts) until the tier fits
+  its budget.  The most recently used entry is never evicted, so the
+  access that triggered a GC cannot evict its own entry.  The budget is
+  a soft target: the surviving MRU entry may alone exceed a tiny budget.
+* **Compaction** -- :meth:`CacheTier.compact` gathers small loose
+  entries into a single packfile (``pack/pack-<digest>.pack`` plus a
+  JSON offset index), turning thousands of tiny files into one
+  sequential read.  Loose entries shadow pack entries, so re-storing a
+  key after compaction simply wins.
+
+Counters (per tier name): ``exec.cache.<tier>.{hits,misses,stores,
+evictions,promotions,writebacks,compactions,packed_entries}``.
+
+Selection: CLI ``--cache-tier DIR[=BUDGET]`` (repeatable: first is the
+local tier, second the shared tier) > ``$REPRO_CACHE_TIERS`` (same
+entries, comma-separated).  Budgets accept ``K``/``M``/``G`` suffixes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import warnings
+from pathlib import Path
+from typing import Sequence
+
+from repro.exec.cache import _READ_ERRORS, ResultCache
+from repro.obs.registry import get_registry
+from repro.sim.metrics import SimulationResult
+
+#: Environment fallback for the tier stack (comma-separated
+#: ``DIR[=BUDGET]`` entries, local first).
+TIERS_ENV = "REPRO_CACHE_TIERS"
+
+#: Loose entries at or below this size are candidates for packing.
+PACK_THRESHOLD_BYTES = 64 * 1024
+
+_SIZE_SUFFIXES = {"k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def parse_size(text: str) -> int:
+    """``"64M"`` -> bytes; bare integers are bytes already."""
+    cleaned = str(text).strip().lower()
+    if not cleaned:
+        raise ValueError("empty size")
+    scale = 1
+    if cleaned[-1] in _SIZE_SUFFIXES:
+        scale = _SIZE_SUFFIXES[cleaned[-1]]
+        cleaned = cleaned[:-1]
+    try:
+        value = int(float(cleaned) * scale)
+    except ValueError:
+        raise ValueError(f"unparseable size {text!r}") from None
+    if value <= 0:
+        raise ValueError(f"size must be positive, got {text!r}")
+    return value
+
+
+class CacheTier:
+    """One cache directory: loose entries + packfiles + budgeted GC."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        name: str = "local",
+        budget_bytes: int | None = None,
+    ) -> None:
+        self.name = name
+        self.cache = ResultCache(Path(root))
+        self.budget_bytes = budget_bytes
+        self._pack_index: dict[str, tuple[Path, int, int]] | None = None
+        self._corrupt_warned: set[str] = set()
+
+    @property
+    def root(self) -> Path:
+        return self.cache.root
+
+    @property
+    def pack_dir(self) -> Path:
+        return self.root / "pack"
+
+    def _counter(self, what: str):
+        return get_registry().counter(f"exec.cache.{self.name}.{what}")
+
+    # -- lookup / store ------------------------------------------------------
+
+    def get(self, key: str) -> SimulationResult | None:
+        result = None
+        if self.cache.path_for(key).exists():
+            result = self.cache.get(key)  # touches the LRU clock on hit
+        if result is None:
+            result = self._pack_get(key)
+        if result is None:
+            self._counter("misses").inc()
+            return None
+        self._counter("hits").inc()
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> Path | None:
+        path = self.cache.put(key, result)
+        if path is not None:
+            self._counter("stores").inc()
+            self.gc()
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        if key in self.cache:
+            return True
+        if self._pack_index is None:
+            self._load_pack_index()
+        return key in self._pack_index
+
+    # -- GC under a size budget ----------------------------------------------
+
+    def _units(self) -> list[tuple[Path, int, float]]:
+        """Evictable units as ``(path, bytes, lru_stamp)``.
+
+        A unit is one loose entry or one packfile (with its index); the
+        stamp is the freshest of atime/mtime so hits recorded via
+        ``os.utime`` count even where the mount suppresses atime.
+        """
+        units = []
+        for pattern, base in (("*/*.pkl", self.root), ("*.pack", self.pack_dir)):
+            if not base.is_dir():
+                continue
+            for path in base.glob(pattern):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue
+                units.append(
+                    (path, st.st_size, max(st.st_atime, st.st_mtime))
+                )
+        return units
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self._units())
+
+    def gc(self) -> int:
+        """Evict LRU units until the tier fits its budget; count evictions.
+
+        No-op without a budget.  The single most recently used unit is
+        always spared (a just-read or just-written entry must survive
+        the GC its own access triggered).
+        """
+        if self.budget_bytes is None:
+            return 0
+        units = self._units()
+        total = sum(size for _, size, _ in units)
+        if total <= self.budget_bytes:
+            return 0
+        protected = max(units, key=lambda u: u[2])[0] if units else None
+        evicted = 0
+        for path, size, _ in sorted(units, key=lambda u: u[2]):
+            if total <= self.budget_bytes:
+                break
+            if path == protected:
+                continue
+            evicted += self._evict_unit(path)
+            total -= size
+        if evicted:
+            self._counter("evictions").add(evicted)
+        return evicted
+
+    def _evict_unit(self, path: Path) -> int:
+        """Remove one unit; returns the number of *entries* it held."""
+        entries = 1
+        if path.suffix == ".pack":
+            index_path = path.with_suffix(".json")
+            try:
+                entries = len(json.loads(index_path.read_text())["entries"])
+            except (OSError, ValueError, KeyError, TypeError):
+                entries = 1
+            for victim in (path, index_path):
+                try:
+                    victim.unlink()
+                except OSError:
+                    pass
+            self._pack_index = None
+            return entries
+        try:
+            path.unlink()
+        except OSError:
+            return 0
+        return entries
+
+    # -- packfile compaction -------------------------------------------------
+
+    def compact(
+        self,
+        *,
+        max_entry_bytes: int = PACK_THRESHOLD_BYTES,
+        min_entries: int = 2,
+    ) -> int:
+        """Merge small loose entries into one packfile; returns entries packed.
+
+        The pack holds each entry's original pickle bytes verbatim at a
+        recorded offset, so a packed entry round-trips bit-identically.
+        Loose files are unlinked only after the pack and its index are
+        durably in place.
+        """
+        small: list[tuple[str, Path]] = []
+        for path in self.root.glob("*/*.pkl"):
+            try:
+                if path.stat().st_size <= max_entry_bytes:
+                    small.append((path.stem, path))
+            except OSError:
+                continue
+        if len(small) < min_entries:
+            return 0
+        small.sort()
+        blobs: list[tuple[str, bytes]] = []
+        for key, path in small:
+            try:
+                blobs.append((key, path.read_bytes()))
+            except OSError:
+                continue
+        if len(blobs) < min_entries:
+            return 0
+        entries: dict[str, tuple[int, int]] = {}
+        offset = 0
+        payload = bytearray()
+        for key, blob in blobs:
+            entries[key] = (offset, len(blob))
+            payload.extend(blob)
+            offset += len(blob)
+        import hashlib
+
+        pack_id = hashlib.sha256(bytes(payload)).hexdigest()[:16]
+        self.pack_dir.mkdir(parents=True, exist_ok=True)
+        pack_path = self.pack_dir / f"pack-{pack_id}.pack"
+        self._write_atomic(pack_path, bytes(payload))
+        self._write_atomic(
+            pack_path.with_suffix(".json"),
+            json.dumps(
+                {"pack": pack_path.name, "entries": entries}
+            ).encode(),
+        )
+        packed_keys = set(entries)
+        for key, path in small:
+            if key not in packed_keys:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self._pack_index = None
+        self._counter("compactions").inc()
+        self._counter("packed_entries").add(len(entries))
+        return len(entries)
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _load_pack_index(self) -> None:
+        index: dict[str, tuple[Path, int, int]] = {}
+        if self.pack_dir.is_dir():
+            for idx_path in sorted(self.pack_dir.glob("*.json")):
+                try:
+                    data = json.loads(idx_path.read_text())
+                    pack_path = self.pack_dir / data["pack"]
+                    for key, (off, length) in data["entries"].items():
+                        index[key] = (pack_path, int(off), int(length))
+                except (OSError, ValueError, KeyError, TypeError):
+                    continue  # a corrupt index only costs re-runs
+        self._pack_index = index
+
+    def _pack_get(self, key: str) -> SimulationResult | None:
+        if self._pack_index is None:
+            self._load_pack_index()
+        hit = self._pack_index.get(key)
+        if hit is None:
+            return None
+        pack_path, offset, length = hit
+        try:
+            with open(pack_path, "rb") as fh:
+                fh.seek(offset)
+                blob = fh.read(length)
+            entry = pickle.loads(blob)
+            if entry.get("key") != key:
+                raise ValueError("key mismatch")
+            result = entry["result"]
+            if not isinstance(result, SimulationResult):
+                raise ValueError("not a SimulationResult")
+        except FileNotFoundError:
+            # The pack was evicted (possibly by another process); the
+            # index is stale, not corrupt.
+            self._pack_index = None
+            return None
+        except _READ_ERRORS as exc:
+            get_registry().counter("exec.cache.corrupt_entries").inc()
+            if key not in self._corrupt_warned:
+                self._corrupt_warned.add(key)
+                warnings.warn(
+                    f"packed cache entry {key[:16]}... in {pack_path} is "
+                    f"unreadable ({type(exc).__name__}: {exc}); treating "
+                    "as a miss",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+        try:
+            os.utime(pack_path)  # the whole pack is the LRU unit
+        except OSError:
+            pass
+        return result
+
+
+class TieredResultCache:
+    """ResultCache-compatible read-through / write-back tier stack.
+
+    ``get``: local tier first; on a miss, the shared tier -- a shared
+    hit is promoted (copied) into the local tier so the next read is
+    local.  ``put``: written to the local tier and written back to the
+    shared tier, so one host's computation warms every host.
+    """
+
+    def __init__(self, local: CacheTier, shared: CacheTier | None = None):
+        self.local = local
+        self.shared = shared
+
+    @property
+    def tiers(self) -> list[CacheTier]:
+        return [t for t in (self.local, self.shared) if t is not None]
+
+    @property
+    def root(self) -> Path:
+        return self.local.root
+
+    def get(self, key: str) -> SimulationResult | None:
+        result = self.local.get(key)
+        if result is not None:
+            return result
+        if self.shared is not None:
+            result = self.shared.get(key)
+            if result is not None:
+                self.local.put(key, result)
+                get_registry().counter("exec.cache.local.promotions").inc()
+                return result
+        return None
+
+    def put(self, key: str, result: SimulationResult) -> Path | None:
+        path = self.local.put(key, result)
+        if self.shared is not None:
+            if self.shared.put(key, result) is not None:
+                get_registry().counter("exec.cache.shared.writebacks").inc()
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return any(key in tier for tier in self.tiers)
+
+
+# -- spec parsing ------------------------------------------------------------
+
+
+def parse_tier_entry(text: str) -> tuple[str, int | None]:
+    """``"DIR"`` or ``"DIR=BUDGET"`` -> ``(dir, budget_bytes | None)``."""
+    entry = text.strip()
+    if not entry:
+        raise ValueError("empty cache-tier entry")
+    if "=" in entry:
+        path, _, budget = entry.rpartition("=")
+        if not path:
+            raise ValueError(f"cache-tier entry {text!r} has no directory")
+        return path, parse_size(budget)
+    return entry, None
+
+
+def tiered_cache_from_spec(
+    spec: str | Sequence[str],
+) -> TieredResultCache:
+    """Build the tier stack from CLI/env entries (local first, then shared)."""
+    if isinstance(spec, str):
+        entries = [e for e in spec.split(",") if e.strip()]
+    else:
+        entries = [e for e in spec if str(e).strip()]
+    if not entries:
+        raise ValueError("cache-tier spec names no directories")
+    if len(entries) > 2:
+        raise ValueError(
+            f"at most two cache tiers (local, shared); got {len(entries)}"
+        )
+    parsed = [parse_tier_entry(str(e)) for e in entries]
+    local = CacheTier(parsed[0][0], name="local", budget_bytes=parsed[0][1])
+    shared = None
+    if len(parsed) == 2:
+        shared = CacheTier(
+            parsed[1][0], name="shared", budget_bytes=parsed[1][1]
+        )
+    return TieredResultCache(local, shared)
+
+
+def resolve_cache_tiers(
+    cli_tiers: Sequence[str] | str | None = None,
+) -> TieredResultCache | None:
+    """Tier stack from CLI entries > ``$REPRO_CACHE_TIERS`` > None."""
+    if cli_tiers:
+        return tiered_cache_from_spec(cli_tiers)
+    env = os.environ.get(TIERS_ENV, "").strip()
+    if env:
+        return tiered_cache_from_spec(env)
+    return None

@@ -1,0 +1,533 @@
+"""Pluggable sweep execution backends: serial, process pool, task queue.
+
+A :class:`SweepRunner` decides *what* to simulate (cache lookups, keys,
+seeds); an :class:`Executor` decides *how* the remaining points run.
+Three backends ship:
+
+* :class:`SerialExecutor` -- inline, no processes.  What ``jobs == 1``
+  always did; also the ground truth the conformance suite compares the
+  other backends against.
+* :class:`PoolExecutor` -- one :class:`concurrent.futures.ProcessPoolExecutor`
+  per batch.  The default for parallel runs (current behavior).
+* :class:`QueueExecutor` -- long-lived worker processes pulling point
+  specs from a shared :mod:`multiprocessing` task queue.  The
+  multi-host-shaped backend: work is claimed, not pre-assigned, and a
+  worker that dies mid-point is replaced and its point re-queued
+  (``exec.executor.worker_restarts`` counts the replacements).
+
+The contract every backend honors -- locked down for each executor x
+cache-tier combination by ``tests/harness/executor_contract.py``:
+
+* every task is simulated exactly once (or re-run verbatim after a
+  worker death) and produces the bit-identical result of a direct
+  ``simulate()`` call -- the backend never enters the point key;
+* ``on_result(task, result, elapsed_s)`` fires once per task as it
+  completes;
+* a failing point raises :class:`~repro.util.errors.SweepError` naming
+  the point, abandoning still-queued work (fail fast);
+* ``should_cancel`` returning true raises
+  :class:`~repro.util.errors.SweepCancelled`, leaking neither worker
+  processes nor shared-memory segments.
+
+Backend selection (:func:`resolve_executor_name`): explicit name >
+``$REPRO_EXECUTOR`` > automatic (serial for one job, pool otherwise).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_lib
+import time
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.obs.registry import get_registry
+from repro.util.errors import SweepCancelled, SweepError
+
+if TYPE_CHECKING:
+    from repro.exec.runner import SweepPointSpec
+    from repro.exec.shm import SegmentPublisher
+    from repro.sim.metrics import SimulationResult
+
+#: Valid ``--executor`` / ``$REPRO_EXECUTOR`` values.
+EXECUTOR_NAMES = ("serial", "pool", "queue")
+
+#: How often executor loops wake to poll ``should_cancel`` (and, for the
+#: queue backend, worker liveness) while no point has completed.
+CANCEL_POLL_S = 0.05
+
+#: Test hook: when this env var names an existing *file*, the first queue
+#: worker to claim a task unlinks it (atomic -- exactly one worker wins)
+#: and dies hard via ``os._exit``; when it names a *directory*, every
+#: claiming worker dies, so retry exhaustion is reachable.  The chaos
+#: suite uses this to exercise worker restart without patching internals.
+KILL_FLAG_ENV = "REPRO_EXEC_KILL_FLAG"
+
+#: A task whose worker died is re-queued at most this many times before
+#: the sweep fails -- a point that reliably kills its host (OOM, native
+#: crash) must not retry forever.
+MAX_TASK_RETRIES = 2
+
+
+def resolve_executor_name(name: str | None = None) -> str | None:
+    """Backend choice: explicit ``name`` > ``$REPRO_EXECUTOR`` > None (auto)."""
+    if name is None:
+        env = os.environ.get("REPRO_EXECUTOR", "").strip().lower()
+        name = env or None
+    if name is not None and name not in EXECUTOR_NAMES:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+        )
+    return name
+
+
+def make_executor(name: str, jobs: int = 1) -> "Executor":
+    """Instantiate the named backend sized for ``jobs`` workers."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "pool":
+        return PoolExecutor(jobs=jobs)
+    if name == "queue":
+        return QueueExecutor(jobs=jobs)
+    raise ValueError(
+        f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+    )
+
+
+@dataclass(frozen=True)
+class PointTask:
+    """One unit of executor work: simulate ``point`` with ``seed``.
+
+    ``index`` is the caller's position for the task (used to deliver
+    results back in the right slot); ``label`` is presentation only.
+    """
+
+    index: int
+    point: "SweepPointSpec"
+    seed: int
+    label: str = ""
+
+
+OnResult = Callable[[PointTask, "SimulationResult", float], None]
+
+
+def publish_workloads(
+    tasks: Sequence[PointTask], shared_memory: bool | None
+) -> tuple["SegmentPublisher | None", dict]:
+    """Materialize each distinct task workload once; publish to shm.
+
+    Best-effort by design: a workload whose materialization or publish
+    fails is simply not shared (its workers materialize and report
+    errors exactly as the per-worker path would), so the fan-out can
+    never turn a runnable sweep into a failing one or mask a point's
+    real error with a transport error.  A skipped workload is counted
+    (``exec.shm.publish_skipped``) and warned about with the exception
+    type, so operators can see *why* sharing degraded instead of a
+    silently slower sweep.
+    """
+    from repro.exec.shm import SegmentPublisher, shm_available
+
+    if shared_memory is False or not shm_available():
+        return None, {}
+    reg = get_registry()
+    publisher = SegmentPublisher()
+    refs: dict = {}
+    for task in tasks:
+        spec = task.point.workload
+        if spec in refs:
+            continue
+        try:
+            traces = spec.materialize()
+        except Exception as exc:
+            refs[spec] = None
+            reg.counter("exec.shm.publish_skipped").inc()
+            warnings.warn(
+                f"workload for point {task.label or task.index!r} could "
+                f"not be pre-materialized for sharing "
+                f"({type(exc).__name__}: {exc}); its workers will "
+                "materialize from the spec and surface any real error",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        refs[spec] = publisher.publish(traces)
+    return publisher, refs
+
+
+def _point_error(task: PointTask, detail) -> SweepError:
+    point = task.point
+    return SweepError(
+        f"sweep point {point.label or point.workload!r} failed: {detail}"
+    )
+
+
+class Executor:
+    """One strategy for running a batch of sweep point tasks."""
+
+    name: str = "?"
+
+    def execute(
+        self,
+        tasks: Sequence[PointTask],
+        *,
+        on_result: OnResult,
+        should_cancel: Callable[[], bool] | None = None,
+        shared_memory: bool | None = None,
+    ) -> None:
+        raise NotImplementedError
+
+    @staticmethod
+    def _cancelled(should_cancel: Callable[[], bool] | None) -> bool:
+        return should_cancel is not None and bool(should_cancel())
+
+
+class SerialExecutor(Executor):
+    """Run every task inline, in order, in this process."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        tasks: Sequence[PointTask],
+        *,
+        on_result: OnResult,
+        should_cancel: Callable[[], bool] | None = None,
+        shared_memory: bool | None = None,
+    ) -> None:
+        from repro.exec.runner import _simulate_point
+
+        reg = get_registry()
+        for task in tasks:
+            if self._cancelled(should_cancel):
+                raise SweepCancelled("sweep cancelled before completion")
+            t0 = time.perf_counter()
+            with reg.span("exec.runner.point_s", label=task.label):
+                try:
+                    result = _simulate_point(task.point, task.seed)
+                except SweepError:
+                    raise
+                except Exception as exc:
+                    raise _point_error(task, exc) from exc
+            on_result(task, result, time.perf_counter() - t0)
+
+
+class PoolExecutor(Executor):
+    """One :class:`ProcessPoolExecutor` per batch (the parallel default)."""
+
+    name = "pool"
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def execute(
+        self,
+        tasks: Sequence[PointTask],
+        *,
+        on_result: OnResult,
+        should_cancel: Callable[[], bool] | None = None,
+        shared_memory: bool | None = None,
+    ) -> None:
+        reg = get_registry()
+        publisher, refs = publish_workloads(tasks, shared_memory)
+        try:
+            with reg.span("exec.runner.pool_s", label=f"jobs={self.jobs}"):
+                self._drive(tasks, refs, on_result, should_cancel)
+        finally:
+            # Success, failure, cancellation and Ctrl-C all unlink every
+            # segment; workers' existing attachments stay valid until
+            # pool exit.
+            if publisher is not None:
+                publisher.close()
+
+    def _drive(
+        self,
+        tasks: Sequence[PointTask],
+        refs: dict,
+        on_result: OnResult,
+        should_cancel: Callable[[], bool] | None,
+    ) -> None:
+        from concurrent.futures import (
+            FIRST_COMPLETED,
+            ProcessPoolExecutor,
+            wait,
+        )
+
+        from repro.exec.runner import _simulate_point_shared
+
+        t0 = time.perf_counter()
+        poll_s = CANCEL_POLL_S if should_cancel is not None else None
+        order = {task: n for n, task in enumerate(tasks)}
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = {
+                pool.submit(
+                    _simulate_point_shared,
+                    task.point,
+                    task.seed,
+                    refs.get(task.point.workload),
+                ): task
+                for task in tasks
+            }
+            pending = set(futures)
+            while pending:
+                if self._cancelled(should_cancel):
+                    unfinished = self._abandon(pending)
+                    raise SweepCancelled(
+                        f"sweep cancelled with {unfinished} point(s) "
+                        "unfinished"
+                    )
+                done, pending = wait(
+                    pending, timeout=poll_s, return_when=FIRST_COMPLETED
+                )
+                # Handle completions in submission order so the same
+                # point wins any first-error race on every run.
+                for future in sorted(done, key=lambda f: order[futures[f]]):
+                    task = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        # Fail fast: the first broken point cancels
+                        # everything still queued instead of letting the
+                        # pool grind on (or hang).
+                        self._abandon(pending)
+                        raise _point_error(task, exc) from exc
+                    on_result(task, future.result(), time.perf_counter() - t0)
+
+    @staticmethod
+    def _abandon(pending: set) -> int:
+        """Cancel queued futures, wait out running ones; count losses."""
+        from concurrent.futures import wait
+
+        for future in pending:
+            future.cancel()
+        wait(pending)
+        return len(pending)
+
+
+def _maybe_kill_for_test() -> None:
+    """Die hard if the chaos kill flag is armed (see :data:`KILL_FLAG_ENV`)."""
+    flag = os.environ.get(KILL_FLAG_ENV, "").strip()
+    if not flag:
+        return
+    if os.path.isdir(flag):
+        os._exit(43)
+    try:
+        os.unlink(flag)
+    except OSError:
+        return
+    os._exit(43)
+
+
+def _queue_worker(slot: int, claims, task_q, result_q) -> None:
+    """Long-lived worker loop: pull specs until the ``None`` sentinel.
+
+    The claimed task index is recorded in the shared ``claims`` array
+    (synchronously, unlike queue puts which buffer through a feeder
+    thread) *before* simulation starts, so the parent can tell exactly
+    which task a crashed worker was holding even when the crash loses
+    every in-flight queue message.
+    """
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        index, point, seed, shared = item
+        with claims.get_lock():
+            claims[slot] = index
+        _maybe_kill_for_test()
+        try:
+            from repro.exec.runner import _simulate_point_shared
+
+            result = _simulate_point_shared(point, seed, shared)
+        except BaseException as exc:
+            result_q.put(
+                ("error", slot, index, f"{type(exc).__name__}: {exc}")
+            )
+        else:
+            result_q.put(("done", slot, index, result))
+        with claims.get_lock():
+            claims[slot] = -1
+
+
+class QueueExecutor(Executor):
+    """Long-lived workers pulling point specs from a shared task queue.
+
+    The multi-host-shaped backend: tasks are *claimed* from a queue, not
+    pre-assigned, so a slow point never serializes the rest of the batch
+    behind it, and worker lifecycle is explicit.  A worker that dies
+    mid-point (crash, OOM-kill) is detected by the liveness sweep, its
+    claimed task is re-queued (at most :data:`MAX_TASK_RETRIES` times
+    per task), and a replacement worker is spawned --
+    ``exec.executor.worker_restarts`` counts the replacements.  Results
+    are delivered in completion order, like the pool backend.
+    """
+
+    name = "queue"
+
+    def __init__(self, jobs: int = 1) -> None:
+        self.jobs = max(1, int(jobs))
+
+    def execute(
+        self,
+        tasks: Sequence[PointTask],
+        *,
+        on_result: OnResult,
+        should_cancel: Callable[[], bool] | None = None,
+        shared_memory: bool | None = None,
+    ) -> None:
+        if not tasks:
+            return
+        reg = get_registry()
+        publisher, refs = publish_workloads(tasks, shared_memory)
+        ctx = multiprocessing.get_context()
+        n_workers = min(self.jobs, len(tasks))
+        # One claim slot per worker ever spawned: initial workers plus
+        # the restart budget (per-task retries plus a small allowance
+        # for deaths between tasks).
+        max_restarts = n_workers + MAX_TASK_RETRIES * len(tasks)
+        claims = ctx.Array("q", [-1] * (n_workers + max_restarts))
+        task_q = ctx.Queue()
+        result_q = ctx.Queue()
+        for task in tasks:
+            task_q.put(
+                (task.index, task.point, task.seed,
+                 refs.get(task.point.workload))
+            )
+        state = _QueueState(
+            ctx=ctx,
+            claims=claims,
+            task_q=task_q,
+            result_q=result_q,
+            refs=refs,
+            max_restarts=max_restarts,
+        )
+        clean = False
+        try:
+            with reg.span(
+                "exec.runner.pool_s", label=f"queue jobs={n_workers}"
+            ):
+                for _ in range(n_workers):
+                    state.spawn()
+                self._collect(tasks, state, on_result, should_cancel, reg)
+            clean = True
+        finally:
+            state.shutdown(clean=clean)
+            if publisher is not None:
+                publisher.close()
+
+    def _collect(
+        self,
+        tasks: Sequence[PointTask],
+        state: "_QueueState",
+        on_result: OnResult,
+        should_cancel: Callable[[], bool] | None,
+        reg,
+    ) -> None:
+        t0 = time.perf_counter()
+        by_index = {task.index: task for task in tasks}
+        done: set[int] = set()
+        while len(done) < len(tasks):
+            if self._cancelled(should_cancel):
+                raise SweepCancelled(
+                    f"sweep cancelled with {len(tasks) - len(done)} "
+                    "point(s) unfinished"
+                )
+            try:
+                msg = state.result_q.get(timeout=CANCEL_POLL_S)
+            except queue_lib.Empty:
+                state.reap(by_index, done, reg)
+                continue
+            kind, slot, index = msg[0], msg[1], msg[2]
+            if kind == "error":
+                raise _point_error(by_index[index], msg[3])
+            # A task re-queued after a worker death can, in a narrow
+            # race, complete twice; deliver only the first result.
+            if index in done:
+                continue
+            done.add(index)
+            on_result(by_index[index], msg[3], time.perf_counter() - t0)
+
+
+class _QueueState:
+    """Worker bookkeeping for one :class:`QueueExecutor` batch."""
+
+    def __init__(self, *, ctx, claims, task_q, result_q, refs, max_restarts):
+        self.ctx = ctx
+        self.claims = claims
+        self.task_q = task_q
+        self.result_q = result_q
+        self.refs = refs
+        self.max_restarts = max_restarts
+        self.workers: dict = {}  # process -> claim slot
+        self.retries: dict[int, int] = {}  # task index -> requeue count
+        self.next_slot = 0
+        self.spawned = 0
+
+    def spawn(self):
+        if self.next_slot >= len(self.claims):
+            raise SweepError(
+                "queue executor exhausted its worker-restart budget "
+                f"({self.max_restarts} restarts)"
+            )
+        proc = self.ctx.Process(
+            target=_queue_worker,
+            args=(self.next_slot, self.claims, self.task_q, self.result_q),
+            daemon=True,
+        )
+        self.workers[proc] = self.next_slot
+        self.next_slot += 1
+        self.spawned += 1
+        proc.start()
+        return proc
+
+    def reap(self, by_index: dict, done: set, reg) -> None:
+        """Replace dead workers; re-queue the task each one was holding."""
+        for proc in [p for p in self.workers if p.exitcode is not None]:
+            slot = self.workers.pop(proc)
+            proc.join()
+            with self.claims.get_lock():
+                index = self.claims[slot]
+                self.claims[slot] = -1
+            if index >= 0 and index not in done:
+                retries = self.retries.get(index, 0) + 1
+                self.retries[index] = retries
+                task = by_index[index]
+                if retries > MAX_TASK_RETRIES:
+                    raise _point_error(
+                        task,
+                        f"worker died {retries} time(s) running this "
+                        f"point (last exit code {proc.exitcode})",
+                    )
+                self.task_q.put(
+                    (task.index, task.point, task.seed,
+                     self.refs.get(task.point.workload))
+                )
+            if len(done) < len(by_index):
+                reg.counter("exec.executor.worker_restarts").inc()
+                self.spawn()
+
+    def shutdown(self, *, clean: bool) -> None:
+        """Stop workers and release the queues.
+
+        Clean exit: every result was received, so all workers are idle
+        on ``task_q.get`` -- one ``None`` sentinel each releases them.
+        Unclean (error/cancel): terminate outright; re-queued or
+        undelivered work is abandoned by design.
+        """
+        if clean:
+            for _ in self.workers:
+                self.task_q.put(None)
+        else:
+            for proc in self.workers:
+                if proc.is_alive():
+                    proc.terminate()
+        for proc in self.workers:
+            proc.join(timeout=10)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10)
+        for q in (self.task_q, self.result_q):
+            q.close()
+            # Never hang the parent on a feeder thread draining into a
+            # queue nobody will read again.
+            q.cancel_join_thread()

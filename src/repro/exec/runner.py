@@ -1,10 +1,12 @@
 """Parallel sweep execution with per-point deterministic seeding.
 
 The unit of work is a :class:`SweepPointSpec` -- a workload specification
-plus a :class:`~repro.sim.config.SimConfig`.  A :class:`SweepRunner` fans
-independent points out over a :class:`concurrent.futures.ProcessPoolExecutor`
-(or runs them inline when ``jobs == 1``) and memoizes results in an
-optional :class:`~repro.exec.cache.ResultCache`.
+plus a :class:`~repro.sim.config.SimConfig`.  A :class:`SweepRunner`
+resolves cache hits, keys and seeds, then hands the remaining points to
+a pluggable :class:`~repro.exec.executor.Executor` backend (serial /
+process pool / task queue -- see :mod:`repro.exec.executor`) and
+memoizes results in an optional :class:`~repro.exec.cache.ResultCache`
+(or tiered stack, :mod:`repro.exec.cache_tiers`).
 
 Determinism
 -----------
@@ -43,14 +45,18 @@ from __future__ import annotations
 
 import hashlib
 import os
-import time
 import warnings
 from collections import OrderedDict
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Callable, Sequence, Union
 
 from repro.exec.cache import ResultCache
+from repro.exec.executor import (
+    PointTask,
+    make_executor,
+    publish_workloads,
+    resolve_executor_name,
+)
 from repro.exec.keys import point_key
 from repro.exec.shm import (
     SegmentPublisher,
@@ -450,9 +456,18 @@ class SweepRunner:
 
     ``jobs=None`` resolves via :func:`resolve_jobs` (``$REPRO_JOBS`` or
     the CPU count); ``jobs=1`` runs inline with no pool.  ``cache=None``
-    disables memoization.  ``seed=None`` (the default) simulates every
-    point with its config's own seed; an int overrides all of them with
-    one shared stream (see the module docstring).
+    disables memoization; any object with the ``get``/``put`` shape
+    works, including :class:`~repro.exec.cache_tiers.TieredResultCache`.
+    ``seed=None`` (the default) simulates every point with its config's
+    own seed; an int overrides all of them with one shared stream (see
+    the module docstring).
+
+    ``executor=None`` picks the backend automatically (serial for one
+    effective job, the process pool otherwise) after consulting
+    ``$REPRO_EXECUTOR``; name one of
+    :data:`~repro.exec.executor.EXECUTOR_NAMES` to force it.  The
+    backend is an execution detail -- it never enters point keys and
+    never changes digests.
 
     ``shared_memory=None`` (the default) publishes each distinct
     workload's columns over shared memory for pool runs whenever the
@@ -470,15 +485,17 @@ class SweepRunner:
       hits first, then live points in completion order).  The sweep
       server bridges these into per-job server-sent event streams.
     * ``should_cancel`` is polled between points (serial) and between
-      completions (pool, every ``_CANCEL_POLL_S``); once it returns
-      true the runner cancels queued futures, waits out running ones,
-      tears down shared memory and raises
+      completions (pool/queue, every
+      :data:`~repro.exec.executor.CANCEL_POLL_S`); once it returns true
+      the backend abandons queued work, waits out running points, tears
+      down shared memory and raises
       :class:`~repro.util.errors.SweepCancelled`.
     """
 
     jobs: int | None = 1
     cache: ResultCache | None = None
     seed: int | None = None
+    executor: str | None = None
     shared_memory: bool | None = None
     progress: Callable[[dict], None] | None = None
     should_cancel: Callable[[], bool] | None = None
@@ -532,25 +549,32 @@ class SweepRunner:
         if todo:
             self._check_cancelled()
             n_jobs = self.effective_jobs(len(todo))
-            if n_jobs == 1:
-                for i in todo:
-                    self._check_cancelled()
-                    t0 = time.perf_counter()
-                    with reg.span(
-                        "exec.runner.point_s",
-                        label=points[i].label or keys[i][:12],
-                    ):
-                        results[i] = self._guarded(points[i], seeds[i])
-                    elapsed[i] = time.perf_counter() - t0
-                    self._notify_point(points, keys, elapsed, i, cached=False)
-            else:
-                # Workers are separate processes: their in-process
-                # metrics do not flow back; only per-point wall time and
-                # the counters below are recorded here.
-                with reg.span("exec.runner.pool_s", label=f"jobs={n_jobs}"):
-                    self._run_pool(
-                        points, seeds, todo, n_jobs, results, elapsed, keys
-                    )
+            # Workers of the process-backed executors are separate
+            # processes: their in-process metrics do not flow back; only
+            # per-point wall time and the counters below are recorded
+            # here.
+            backend = make_executor(self._executor_name(n_jobs), jobs=n_jobs)
+            tasks = [
+                PointTask(
+                    index=i,
+                    point=points[i],
+                    seed=seeds[i],
+                    label=points[i].label or keys[i][:12],
+                )
+                for i in todo
+            ]
+
+            def deliver(task: PointTask, result, elapsed_s: float) -> None:
+                results[task.index] = result
+                elapsed[task.index] = elapsed_s
+                self._notify_point(points, keys, elapsed, task.index, cached=False)
+
+            backend.execute(
+                tasks,
+                on_result=deliver,
+                should_cancel=self.should_cancel,
+                shared_memory=self.shared_memory,
+            )
             for i in todo:
                 if self.cache is not None:
                     self.cache.put(keys[i], results[i])
@@ -610,15 +634,12 @@ class SweepRunner:
         if self._cancelled():
             raise SweepCancelled("sweep cancelled before completion")
 
-    def _guarded(self, point: SweepPointSpec, seed: int) -> SimulationResult:
-        try:
-            return _simulate_point(point, seed)
-        except SweepError:
-            raise
-        except Exception as exc:
-            raise SweepError(
-                f"sweep point {point.label or point.workload!r} failed: {exc}"
-            ) from exc
+    def _executor_name(self, n_jobs: int) -> str:
+        """Resolved backend name for this run (see module docstring)."""
+        name = resolve_executor_name(self.executor)
+        if name is None:
+            name = "serial" if n_jobs == 1 else "pool"
+        return name
 
     def _shm_enabled(self) -> bool:
         if self.shared_memory is False:
@@ -630,127 +651,16 @@ class SweepRunner:
     ) -> tuple[SegmentPublisher | None, dict]:
         """Materialize each distinct todo workload once; publish to shm.
 
-        Best-effort by design: a workload whose materialization or
-        publish fails is simply not shared (its workers materialize and
-        report errors exactly as the per-worker path would), so the
-        fan-out can never turn a runnable sweep into a failing one or
-        mask a point's real error with a transport error.  A skipped
-        workload is counted (``exec.shm.publish_skipped``) and warned
-        about with the exception type, so operators can see *why*
-        sharing degraded instead of a silently slower sweep.
+        Thin wrapper over :func:`repro.exec.executor.publish_workloads`
+        (which the backends call directly) honoring this runner's
+        ``shared_memory`` setting.
         """
         if not self._shm_enabled():
             return None, {}
-        reg = get_registry()
-        publisher = SegmentPublisher()
-        refs: dict = {}
-        for i in todo:
-            spec = points[i].workload
-            if spec in refs:
-                continue
-            try:
-                traces = spec.materialize()
-            except Exception as exc:
-                refs[spec] = None
-                reg.counter("exec.shm.publish_skipped").inc()
-                warnings.warn(
-                    f"workload for point {points[i].label or i!r} could "
-                    f"not be pre-materialized for sharing "
-                    f"({type(exc).__name__}: {exc}); its workers will "
-                    "materialize from the spec and surface any real error",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-                continue
-            refs[spec] = publisher.publish(traces)
-        return publisher, refs
-
-    def _run_pool(
-        self,
-        points: list[SweepPointSpec],
-        seeds: list[int],
-        todo: list[int],
-        n_jobs: int,
-        results: list,
-        elapsed: list[float],
-        keys: list[str],
-    ) -> None:
-        publisher, refs = self._publish_workloads(points, todo)
-        try:
-            self._drive_pool(
-                points, seeds, todo, n_jobs, results, elapsed, refs, keys
+        tasks = [
+            PointTask(
+                index=i, point=points[i], seed=0, label=points[i].label
             )
-        finally:
-            # Success, failure, cancellation and Ctrl-C all unlink every
-            # segment; workers' existing attachments stay valid until
-            # pool exit.
-            if publisher is not None:
-                publisher.close()
-
-    #: How often the pool loop wakes to poll ``should_cancel`` while no
-    #: point has completed.  Only paid when a cancel hook is installed.
-    _CANCEL_POLL_S = 0.05
-
-    def _drive_pool(
-        self,
-        points: list[SweepPointSpec],
-        seeds: list[int],
-        todo: list[int],
-        n_jobs: int,
-        results: list,
-        elapsed: list[float],
-        refs: dict,
-        keys: list[str],
-    ) -> None:
-        t0 = time.perf_counter()
-        poll_s = self._CANCEL_POLL_S if self.should_cancel is not None else None
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            futures = {
-                pool.submit(
-                    _simulate_point_shared,
-                    points[i],
-                    seeds[i],
-                    refs.get(points[i].workload),
-                ): i
-                for i in todo
-            }
-            pending = set(futures)
-            while pending:
-                if self._cancelled():
-                    unfinished = self._abandon(pending)
-                    raise SweepCancelled(
-                        f"sweep cancelled with {unfinished} point(s) "
-                        "unfinished"
-                    )
-                done, pending = wait(
-                    pending, timeout=poll_s, return_when=FIRST_COMPLETED
-                )
-                # Handle completions in submission order so the same
-                # point wins any first-error race on every run.
-                for future in sorted(
-                    done, key=lambda f: todo.index(futures[f])
-                ):
-                    i = futures[future]
-                    exc = future.exception()
-                    if exc is not None:
-                        # Fail fast: the first broken point cancels
-                        # everything still queued instead of letting the
-                        # pool grind on (or hang).
-                        self._abandon(pending)
-                        point = points[i]
-                        raise SweepError(
-                            f"sweep point "
-                            f"{point.label or point.workload!r} "
-                            f"failed: {exc}"
-                        ) from exc
-                    results[i] = future.result()
-                    elapsed[i] = time.perf_counter() - t0
-                    self._notify_point(points, keys, elapsed, i, cached=False)
-
-    @staticmethod
-    def _abandon(pending: set) -> int:
-        """Cancel queued futures, wait out running ones; count losses."""
-        for future in pending:
-            future.cancel()
-        wait(pending)
-        return len(pending)
+            for i in todo
+        ]
+        return publish_workloads(tasks, self.shared_memory)

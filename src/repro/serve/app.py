@@ -66,10 +66,22 @@ class ServeConfig:
     no_cache: bool = False
     #: how long shutdown waits for running jobs before cancelling them
     drain_timeout_s: float = 10.0
+    #: default execution backend for jobs that do not name one (None ->
+    #: the runner's automatic choice; see docs/EXECUTORS.md)
+    executor: str | None = None
+    #: tiered-cache spec, ``DIR[=BUDGET][,DIR[=BUDGET]]`` (local first,
+    #: then shared); overrides ``cache_dir`` and honors
+    #: ``$REPRO_CACHE_TIERS`` when unset
+    cache_tiers: str | None = None
 
-    def result_cache(self) -> ResultCache | None:
+    def result_cache(self):
         if self.no_cache:
             return None
+        from repro.exec.cache_tiers import resolve_cache_tiers
+
+        tiered = resolve_cache_tiers(self.cache_tiers)
+        if tiered is not None:
+            return tiered
         if self.cache_dir is not None:
             return ResultCache(root=Path(self.cache_dir))
         return ResultCache()
@@ -238,6 +250,7 @@ class SweepServer:
             runner = SweepRunner(
                 jobs=job.runner_jobs,
                 cache=self._cache if job.use_result_cache else None,
+                executor=job.executor or self.config.executor,
                 progress=bridge.progress,
                 should_cancel=job.cancel.is_set,
             )

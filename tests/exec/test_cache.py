@@ -193,6 +193,27 @@ class TestErrorSurfacing:
             assert cache.get(self.KEY) is None
         assert cache.counters.corrupt == 1
 
+    def test_corrupt_entry_warns_once_per_key(self, tmp_path, sim_result):
+        """Regression: a hot key with a truncated entry used to warn on
+        every lookup; now it warns once per key (mirroring the shm
+        per-segment attach warning) while still counting every hit."""
+        other = "cd" + "0" * 62
+        cache = ResultCache(tmp_path)
+        for key in (self.KEY, other):
+            cache.put(key, sim_result).write_bytes(b"\x80\x04trunc")
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert cache.get(self.KEY) is None
+        with warnings.catch_warnings():  # same key again: silent
+            warnings.simplefilter("error", RuntimeWarning)
+            assert cache.get(self.KEY) is None
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert cache.get(other) is None  # distinct key: its own warning
+        assert cache.counters.corrupt == 3
+        # warn-once state is per cache instance, like _ATTACH_WARNED is
+        # per process: a fresh instance over the same root warns anew
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            assert ResultCache(tmp_path).get(self.KEY) is None
+
     def test_plain_absence_is_a_clean_miss(self, tmp_path):
         # A missing entry is the common case, not corruption: no warning,
         # no corrupt count.

@@ -1,0 +1,366 @@
+"""Tiered result cache: read-through, write-back, GC, compaction.
+
+The arrangement under test is the DVC-remote shape from
+docs/EXECUTORS.md: a local tier consulted first and always written,
+backed by a shared tier that other hosts populate.  Correctness here is
+about *placement and accounting* -- what lands in which tier, what the
+counters say, what GC may and may not evict -- since bit identity of
+the payloads is already locked down by the conformance matrix.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.cache_tiers import (
+    CacheTier,
+    TieredResultCache,
+    parse_size,
+    parse_tier_entry,
+    resolve_cache_tiers,
+    tiered_cache_from_spec,
+)
+from repro.exec.runner import AppWorkloadSpec, SweepPointSpec, SweepRunner
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.sim.config import CacheConfig, SimConfig
+from repro.util.units import MB
+
+
+@pytest.fixture(scope="module")
+def sim_result():
+    """One real (tiny) SimulationResult to shuttle between tiers."""
+    return SweepRunner(jobs=1).run_point(
+        SweepPointSpec(
+            workload=AppWorkloadSpec(app="venus", scale=0.05),
+            config=SimConfig(cache=CacheConfig(size_bytes=8 * MB)),
+        )
+    ).result
+
+
+def key_n(n: int) -> str:
+    return f"{n:02x}" * 32
+
+
+def stack(tmp_path, **budgets):
+    return TieredResultCache(
+        local=CacheTier(
+            tmp_path / "local", name="local",
+            budget_bytes=budgets.get("local"),
+        ),
+        shared=CacheTier(
+            tmp_path / "shared", name="shared",
+            budget_bytes=budgets.get("shared"),
+        ),
+    )
+
+
+def backdate(path, *, by_s: float) -> None:
+    """Age a unit's LRU stamp deterministically (no sleeping)."""
+    stamp = time.time() - by_s
+    os.utime(path, (stamp, stamp))
+
+
+class TestReadThroughWriteBack:
+    def test_put_lands_in_both_tiers(self, tmp_path, sim_result):
+        tiers = stack(tmp_path)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            tiers.put(key_n(1), sim_result)
+        assert key_n(1) in tiers.local
+        assert key_n(1) in tiers.shared
+        counters = registry.counters()
+        assert counters["exec.cache.local.stores"] == 1
+        assert counters["exec.cache.shared.stores"] == 1
+        assert counters["exec.cache.shared.writebacks"] == 1
+
+    def test_shared_hit_promotes_to_local(self, tmp_path, sim_result):
+        writer = stack(tmp_path)
+        writer.shared.put(key_n(1), sim_result)  # shared tier only
+        reader = stack(tmp_path)
+        assert key_n(1) not in reader.local
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            hit = reader.get(key_n(1))
+        assert hit is not None and hit.digest() == sim_result.digest()
+        assert key_n(1) in reader.local  # promoted
+        counters = registry.counters()
+        assert counters["exec.cache.local.misses"] == 1
+        assert counters["exec.cache.shared.hits"] == 1
+        assert counters["exec.cache.local.promotions"] == 1
+        # next read is local, no shared traffic
+        registry2 = MetricsRegistry()
+        with use_registry(registry2):
+            assert reader.get(key_n(1)) is not None
+        counters2 = registry2.counters()
+        assert counters2["exec.cache.local.hits"] == 1
+        assert "exec.cache.shared.hits" not in counters2
+
+    def test_local_only_stack_works(self, tmp_path, sim_result):
+        tiers = TieredResultCache(local=CacheTier(tmp_path, name="local"))
+        tiers.put(key_n(1), sim_result)
+        assert tiers.get(key_n(1)) is not None
+        assert tiers.get(key_n(2)) is None
+        assert tiers.root == tmp_path
+
+    def test_miss_everywhere_is_none(self, tmp_path):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            assert stack(tmp_path).get(key_n(9)) is None
+        counters = registry.counters()
+        assert counters["exec.cache.local.misses"] == 1
+        assert counters["exec.cache.shared.misses"] == 1
+
+
+class TestGC:
+    def entry_bytes(self, tier, sim_result) -> int:
+        probe = tier.cache.put(key_n(0), sim_result).stat().st_size
+        tier.cache.path_for(key_n(0)).unlink()
+        return probe
+
+    def test_lru_unit_evicted_first(self, tmp_path, sim_result):
+        tier = CacheTier(tmp_path, name="local")
+        size = self.entry_bytes(tier, sim_result)
+        tier.budget_bytes = 2 * size + size // 2
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            for n in (1, 2):
+                tier.put(key_n(n), sim_result)
+            backdate(tier.cache.path_for(key_n(1)), by_s=600)
+            backdate(tier.cache.path_for(key_n(2)), by_s=300)
+            tier.put(key_n(3), sim_result)  # drives the tier over budget
+        assert key_n(1) not in tier  # oldest stamp lost
+        assert key_n(2) in tier and key_n(3) in tier
+        assert registry.counters()["exec.cache.local.evictions"] == 1
+        assert tier.total_bytes() <= tier.budget_bytes
+
+    def test_recent_read_refreshes_the_lru_clock(self, tmp_path, sim_result):
+        tier = CacheTier(tmp_path, name="local")
+        size = self.entry_bytes(tier, sim_result)
+        tier.budget_bytes = 2 * size + size // 2
+        for n in (1, 2):
+            tier.put(key_n(n), sim_result)
+        for n in (1, 2):
+            backdate(tier.cache.path_for(key_n(n)), by_s=600 // n)
+        assert tier.get(key_n(1)) is not None  # utime makes 1 the MRU
+        tier.put(key_n(3), sim_result)
+        assert key_n(1) in tier  # survived despite the oldest mtime
+        assert key_n(2) not in tier
+
+    def test_mru_never_evicted_even_under_tiny_budget(
+        self, tmp_path, sim_result
+    ):
+        tier = CacheTier(tmp_path, name="local", budget_bytes=1)
+        tier.put(key_n(1), sim_result)
+        # the write that blew the budget is itself the MRU: it survives
+        assert key_n(1) in tier
+
+    def test_no_budget_means_no_gc(self, tmp_path, sim_result):
+        tier = CacheTier(tmp_path, name="local")
+        for n in range(5):
+            tier.put(key_n(n), sim_result)
+        assert tier.gc() == 0
+        assert all(key_n(n) in tier for n in range(5))
+
+    def test_evicted_point_recomputes_to_same_digest(
+        self, tmp_path, sim_result
+    ):
+        """End to end: eviction costs a re-run, never a different result."""
+        workload = AppWorkloadSpec(app="venus", scale=0.05, n_copies=2)
+        points = [
+            SweepPointSpec(
+                workload=workload,
+                config=SimConfig(cache=CacheConfig(size_bytes=mb * MB)),
+                label=f"venus {mb}MB",
+            )
+            for mb in (8, 32)
+        ]
+        baseline = [
+            (r.key, r.result.digest())
+            for r in SweepRunner(jobs=1, cache=None).run(points)
+        ]
+        size = self.entry_bytes(CacheTier(tmp_path / "probe"), sim_result)
+        # budget fits roughly one entry: storing point B evicts point A
+        tiers = TieredResultCache(
+            local=CacheTier(
+                tmp_path / "local", name="local",
+                budget_bytes=size + size // 2,
+            )
+        )
+        SweepRunner(jobs=1, cache=tiers).run(points)
+        rerun_tiers = TieredResultCache(
+            local=CacheTier(
+                tmp_path / "local", name="local",
+                budget_bytes=size + size // 2,
+            )
+        )
+        runner = SweepRunner(jobs=1, cache=rerun_tiers)
+        rerun = runner.run(points)
+        assert [(r.key, r.result.digest()) for r in rerun] == baseline
+        assert 1 <= runner.simulated <= len(points)  # evictee recomputed
+
+
+class TestCompaction:
+    def test_small_entries_packed_and_still_served(
+        self, tmp_path, sim_result
+    ):
+        tier = CacheTier(tmp_path, name="local")
+        keys = [key_n(n) for n in range(4)]
+        for key in keys:
+            tier.put(key, sim_result)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            packed = tier.compact(max_entry_bytes=1 << 30)
+        assert packed == len(keys)
+        assert not list(tmp_path.glob("*/*.pkl"))  # loose files gone
+        packs = list((tmp_path / "pack").glob("*.pack"))
+        assert len(packs) == 1
+        counters = registry.counters()
+        assert counters["exec.cache.local.compactions"] == 1
+        assert counters["exec.cache.local.packed_entries"] == len(keys)
+        for key in keys:
+            hit = tier.get(key)
+            assert hit is not None and hit.digest() == sim_result.digest()
+
+    def test_fresh_instance_reads_the_pack(self, tmp_path, sim_result):
+        tier = CacheTier(tmp_path, name="local")
+        tier.put(key_n(1), sim_result)
+        tier.put(key_n(2), sim_result)
+        assert tier.compact(max_entry_bytes=1 << 30) == 2
+        fresh = CacheTier(tmp_path, name="local")
+        assert key_n(1) in fresh
+        assert fresh.get(key_n(2)).digest() == sim_result.digest()
+
+    def test_restored_loose_entry_shadows_the_pack(
+        self, tmp_path, sim_result
+    ):
+        tier = CacheTier(tmp_path, name="local")
+        tier.put(key_n(1), sim_result)
+        tier.put(key_n(2), sim_result)
+        tier.compact(max_entry_bytes=1 << 30)
+        tier.put(key_n(1), sim_result)  # re-stored after compaction
+        assert tier.get(key_n(1)).digest() == sim_result.digest()
+
+    def test_pack_is_one_eviction_unit(self, tmp_path, sim_result):
+        tier = CacheTier(tmp_path, name="local")
+        for n in range(3):
+            tier.put(key_n(n), sim_result)
+        tier.compact(max_entry_bytes=1 << 30)
+        pack = next((tmp_path / "pack").glob("*.pack"))
+        backdate(pack, by_s=600)
+        tier.put(key_n(7), sim_result)
+        tier.budget_bytes = tier.cache.path_for(key_n(7)).stat().st_size * 2
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            tier.gc()
+        # evicting the pack drops all three packed entries, counted as such
+        assert registry.counters()["exec.cache.local.evictions"] == 3
+        assert not list((tmp_path / "pack").glob("*.pack"))
+        for n in range(3):
+            assert tier.get(key_n(n)) is None
+        assert key_n(7) in tier
+
+    def test_too_few_small_entries_is_a_noop(self, tmp_path, sim_result):
+        tier = CacheTier(tmp_path, name="local")
+        tier.put(key_n(1), sim_result)
+        assert tier.compact(max_entry_bytes=1 << 30) == 0
+        assert key_n(1) in tier
+
+    def test_corrupt_pack_entry_is_a_miss_warned_once(
+        self, tmp_path, sim_result
+    ):
+        import warnings as warnings_module
+
+        tier = CacheTier(tmp_path, name="local")
+        tier.put(key_n(1), sim_result)
+        tier.put(key_n(2), sim_result)
+        tier.compact(max_entry_bytes=1 << 30)
+        pack = next((tmp_path / "pack").glob("*.pack"))
+        index = json.loads(pack.with_suffix(".json").read_text())
+        offset, length = index["entries"][key_n(1)]
+        blob = bytearray(pack.read_bytes())
+        blob[offset : offset + length] = b"\x00" * length
+        pack.write_bytes(bytes(blob))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with pytest.warns(RuntimeWarning, match="unreadable"):
+                assert tier.get(key_n(1)) is None
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error", RuntimeWarning)
+                assert tier.get(key_n(1)) is None  # second lookup: silent
+        assert registry.counters()["exec.cache.corrupt_entries"] == 2
+        assert tier.get(key_n(2)).digest() == sim_result.digest()
+
+
+class TestSpecParsing:
+    def test_parse_size(self):
+        assert parse_size("4096") == 4096
+        assert parse_size("64k") == 64 * 1024
+        assert parse_size("64M") == 64 * 1024**2
+        assert parse_size("2G") == 2 * 1024**3
+        assert parse_size("1.5m") == int(1.5 * 1024**2)
+        for bad in ("", "lots", "-1", "0"):
+            with pytest.raises(ValueError):
+                parse_size(bad)
+
+    def test_parse_tier_entry(self, tmp_path):
+        assert parse_tier_entry(str(tmp_path)) == (str(tmp_path), None)
+        path, budget = parse_tier_entry(f"{tmp_path}=64M")
+        assert path == str(tmp_path) and budget == 64 * 1024**2
+        with pytest.raises(ValueError):
+            parse_tier_entry("=64M")
+
+    def test_spec_builds_local_then_shared(self, tmp_path):
+        tiers = tiered_cache_from_spec(
+            f"{tmp_path}/a=1M,{tmp_path}/b"
+        )
+        assert tiers.local.root == tmp_path / "a"
+        assert tiers.local.budget_bytes == 1024**2
+        assert tiers.shared.root == tmp_path / "b"
+        assert tiers.shared.budget_bytes is None
+
+    def test_single_entry_has_no_shared_tier(self, tmp_path):
+        tiers = tiered_cache_from_spec([str(tmp_path)])
+        assert tiers.shared is None
+
+    def test_three_tiers_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at most two"):
+            tiered_cache_from_spec(f"{tmp_path}/a,{tmp_path}/b,{tmp_path}/c")
+
+    def test_resolution_cli_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_TIERS", f"{tmp_path}/env")
+        cli = resolve_cache_tiers([f"{tmp_path}/cli"])
+        assert cli.local.root == tmp_path / "cli"
+        env = resolve_cache_tiers(None)
+        assert env.local.root == tmp_path / "env"
+        monkeypatch.delenv("REPRO_CACHE_TIERS")
+        assert resolve_cache_tiers(None) is None
+
+
+class TestRunnerIntegration:
+    def test_sweep_runner_accepts_the_stack(self, tmp_path):
+        workload = AppWorkloadSpec(app="venus", scale=0.05, n_copies=2)
+        point = SweepPointSpec(
+            workload=workload,
+            config=SimConfig(cache=CacheConfig(size_bytes=8 * MB)),
+            label="venus 8MB",
+        )
+        cold = SweepRunner(jobs=1, cache=stack(tmp_path)).run_point(point)
+        warm_runner = SweepRunner(jobs=1, cache=stack(tmp_path))
+        warm = warm_runner.run_point(point)
+        assert not cold.cached and warm.cached
+        assert warm.result.digest() == cold.result.digest()
+        assert warm_runner.simulated == 0
+
+    def test_flat_result_cache_still_accepted(self, tmp_path):
+        # TieredResultCache is duck-compatible with ResultCache; the
+        # runner accepts either.
+        workload = AppWorkloadSpec(app="venus", scale=0.05)
+        point = SweepPointSpec(
+            workload=workload, config=SimConfig(), label="flat"
+        )
+        flat = ResultCache(tmp_path)
+        SweepRunner(jobs=1, cache=flat).run_point(point)
+        assert SweepRunner(jobs=1, cache=flat).run_point(point).cached

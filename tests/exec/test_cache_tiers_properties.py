@@ -1,0 +1,196 @@
+"""Property tests for tier eviction/GC under arbitrary op sequences.
+
+Hypothesis drives a :class:`CacheTier` with random interleavings of
+``put`` and ``get`` over a small key space, under a budget of about
+three entries, and checks the GC contract after every operation:
+
+* the tier never holds more than its budget once GC has run;
+* the entry an operation just touched (stored or read) is never the
+  one that operation's GC evicts;
+* an evicted key reads as a clean miss, and re-storing it round-trips
+  to the identical digest -- eviction costs a re-run, never a result.
+
+Timestamps are re-stamped with a logical clock after every op (the
+production code's own ``os.utime`` granularity is real time; the
+property needs deterministic ordering), so the sequences are exactly
+reproducible.
+"""
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exec.cache_tiers import CacheTier
+from repro.exec.runner import AppWorkloadSpec, SweepPointSpec, SweepRunner
+from repro.sim.config import CacheConfig, SimConfig
+from repro.util.units import MB
+
+N_KEYS = 6
+
+_RESULT = None
+
+
+def canned_result():
+    """One tiny real SimulationResult, computed once per process."""
+    global _RESULT
+    if _RESULT is None:
+        _RESULT = SweepRunner(jobs=1).run_point(
+            SweepPointSpec(
+                workload=AppWorkloadSpec(app="venus", scale=0.05),
+                config=SimConfig(cache=CacheConfig(size_bytes=8 * MB)),
+            )
+        ).result
+    return _RESULT
+
+
+def key_n(n: int) -> str:
+    return f"{n:02x}" * 32
+
+
+def entry_bytes(tmp: Path) -> int:
+    tier = CacheTier(tmp / "probe", name="local")
+    path = tier.cache.put(key_n(0), canned_result())
+    return path.stat().st_size
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get"]),
+        st.integers(min_value=0, max_value=N_KEYS - 1),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestEvictionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(ops=ops_strategy)
+    def test_gc_contract_under_any_op_sequence(self, ops):
+        result = canned_result()
+        with tempfile.TemporaryDirectory(prefix="tier-prop-") as tmp:
+            tmp = Path(tmp)
+            size = entry_bytes(tmp)
+            budget = 3 * size + size // 2
+            tier = CacheTier(tmp / "tier", name="local", budget_bytes=budget)
+            # Logical clock far in the past: a fresh put's wall-clock
+            # stamp always reads as the MRU during its own GC, then gets
+            # re-stamped into sequence order below.
+            base = time.time() - 1_000_000
+            live: set[str] = set()
+            ever_put: set[str] = set()
+            for step, (op, n) in enumerate(ops):
+                key = key_n(n)
+                if op == "put":
+                    assert tier.put(key, result) is not None
+                    ever_put.add(key)
+                    live.add(key)
+                else:
+                    hit = tier.get(key)
+                    if key in live:
+                        assert hit is not None, (
+                            f"step {step}: live key {n} vanished without GC"
+                        )
+                        assert hit.digest() == result.digest()
+                    else:
+                        assert hit is None, (
+                            f"step {step}: key {n} served but never stored"
+                        )
+                        continue
+                # The touched entry survived its own op's GC...
+                path = tier.cache.path_for(key)
+                assert path.exists(), (
+                    f"step {step}: {op} of key {n} evicted its own entry"
+                )
+                # ...now fold it into the logical LRU order and record
+                # what this op's GC actually evicted.
+                stamp = base + step
+                os.utime(path, (stamp, stamp))
+                live = {k for k in live if k in tier}
+                # Budget holds after every op (gets never grow the tier,
+                # puts GC before returning).
+                assert tier.total_bytes() <= budget
+            # Every evicted key is a clean miss and recomputes (here:
+            # re-stores) to the identical digest.
+            for key in sorted(ever_put - live):
+                assert tier.get(key) is None
+                tier.put(key, result)
+                assert tier.get(key).digest() == result.digest()
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        reads=st.lists(
+            st.integers(min_value=0, max_value=N_KEYS - 1),
+            min_size=0,
+            max_size=10,
+        )
+    )
+    def test_eviction_counter_matches_disappearances(self, reads):
+        """However reads shuffle the LRU order, the eviction counter
+        equals the number of entries that actually disappeared."""
+        from repro.obs.registry import MetricsRegistry, use_registry
+
+        result = canned_result()
+        with tempfile.TemporaryDirectory(prefix="tier-prop-") as tmp:
+            tmp = Path(tmp)
+            size = entry_bytes(tmp)
+            tier = CacheTier(tmp / "tier", name="local")
+            base = time.time() - 1_000_000
+            for n in range(N_KEYS):
+                tier.put(key_n(n), result)
+                path = tier.cache.path_for(key_n(n))
+                os.utime(path, (base + n, base + n))
+            for i, n in enumerate(reads):
+                assert tier.get(key_n(n)) is not None
+                path = tier.cache.path_for(key_n(n))
+                stamp = base + N_KEYS + i
+                os.utime(path, (stamp, stamp))
+            tier.budget_bytes = 3 * size + size // 2
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                evicted = tier.gc()
+            survivors = sum(1 for n in range(N_KEYS) if key_n(n) in tier)
+            assert evicted == N_KEYS - survivors
+            assert registry.counters().get(
+                "exec.cache.local.evictions", 0
+            ) == evicted
+            assert tier.total_bytes() <= tier.budget_bytes
+            # and the freshest stamp always survives
+            freshest = reads[-1] if reads else N_KEYS - 1
+            assert key_n(freshest) in tier
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_evicted_point_recomputes_identically_through_the_runner(
+    tmp_path, jobs
+):
+    """The property the tier mechanics exist to uphold, end to end."""
+    workload = AppWorkloadSpec(app="venus", scale=0.05, n_copies=2)
+    points = [
+        SweepPointSpec(
+            workload=workload,
+            config=SimConfig(cache=CacheConfig(size_bytes=mb * MB)),
+            label=f"venus {mb}MB",
+        )
+        for mb in (8, 32)
+    ]
+    baseline = [
+        (r.key, r.result.digest())
+        for r in SweepRunner(jobs=1, cache=None).run(points)
+    ]
+    size = entry_bytes(tmp_path)
+    tight = size + size // 2  # one entry fits, two do not
+
+    def make_tier():
+        return CacheTier(tmp_path / "tier", name="local", budget_bytes=tight)
+
+    SweepRunner(jobs=jobs, cache=make_tier()).run(points)
+    runner = SweepRunner(jobs=jobs, cache=make_tier())
+    rerun = runner.run(points)
+    assert [(r.key, r.result.digest()) for r in rerun] == baseline
+    assert runner.simulated >= 1  # at least one point was evicted and re-run

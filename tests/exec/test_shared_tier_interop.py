@@ -1,0 +1,107 @@
+"""Two-process shared-tier interop: one host computes, another reads.
+
+The DVC-remote scenario the shared tier exists for, played out with
+real processes: a *writer* process with local tier A populates the
+shared directory; a *reader* process with its own empty local tier B
+must then serve the identical sweep entirely from the shared tier --
+zero recomputations, 100% shared-tier hits, digests unchanged -- with
+every claim asserted via the obs counters, not just the summary flags.
+CI runs the same scenario in its ``executors`` job.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Runs the canonical two-point sweep under $REPRO_CACHE_TIERS and
+#: reports digests plus the tier counters as JSON on stdout.
+SWEEP_SCRIPT = """
+import json
+
+from repro.exec.cache_tiers import resolve_cache_tiers
+from repro.exec.runner import AppWorkloadSpec, SweepPointSpec, SweepRunner
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.sim.config import CacheConfig, SimConfig
+from repro.util.units import MB
+
+workload = AppWorkloadSpec(app="venus", scale=0.05, n_copies=2)
+points = [
+    SweepPointSpec(
+        workload=workload,
+        config=SimConfig(cache=CacheConfig(size_bytes=mb * MB)),
+        label=f"venus {mb}MB",
+    )
+    for mb in (8, 32)
+]
+registry = MetricsRegistry()
+runner = SweepRunner(jobs=1, cache=resolve_cache_tiers(None))
+with use_registry(registry):
+    results = runner.run(points)
+print(json.dumps({
+    "digests": [r.result.digest() for r in results],
+    "keys": [r.key for r in results],
+    "cached": [r.cached for r in results],
+    "simulated": runner.simulated,
+    "counters": registry.counters(),
+}))
+"""
+
+N_POINTS = 2
+
+
+def run_sweep_process(tiers_spec: str, tmp_path: Path) -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_TIERS"] = tiers_spec
+    # isolate from the developer's caches and any executor override
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "unused-flat-cache")
+    env["REPRO_TRACE_CACHE"] = str(tmp_path / "trace-store")
+    env.pop("REPRO_EXECUTOR", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", SWEEP_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def test_reader_process_served_entirely_from_shared_tier(tmp_path):
+    shared = tmp_path / "shared"
+
+    writer = run_sweep_process(
+        f"{tmp_path / 'local-a'},{shared}", tmp_path
+    )
+    assert writer["simulated"] == N_POINTS
+    assert writer["counters"]["exec.cache.shared.writebacks"] == N_POINTS
+    assert list(shared.glob("*/*.pkl")), "writer left the shared tier empty"
+
+    reader = run_sweep_process(
+        f"{tmp_path / 'local-b'},{shared}", tmp_path
+    )
+    # the whole warm run came out of the shared tier: nothing simulated,
+    # every point flagged cached, identical digests
+    assert reader["simulated"] == 0
+    assert reader["cached"] == [True] * N_POINTS
+    assert reader["keys"] == writer["keys"]
+    assert reader["digests"] == writer["digests"]
+    counters = reader["counters"]
+    assert counters["exec.cache.local.misses"] == N_POINTS
+    assert counters["exec.cache.shared.hits"] == N_POINTS
+    assert counters["exec.cache.local.promotions"] == N_POINTS
+    assert counters.get("exec.runner.points_simulated", 0) == 0
+
+    # promotion made local-b self-sufficient: a third run on the same
+    # local tier never touches the shared tier again
+    rerun = run_sweep_process(
+        f"{tmp_path / 'local-b'},{shared}", tmp_path
+    )
+    assert rerun["simulated"] == 0
+    assert rerun["counters"]["exec.cache.local.hits"] == N_POINTS
+    assert "exec.cache.shared.hits" not in rerun["counters"]

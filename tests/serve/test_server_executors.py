@@ -1,0 +1,109 @@
+"""Serve-layer regression: jobs on any executor backend + tier metrics.
+
+A sweep job submitted with ``executor=queue`` must return the point
+keys and digests of the in-process serial run (the backend is invisible
+in the results), and a server configured with a tiered result cache
+must expose the tier counters on ``/metrics`` after serving jobs.
+"""
+
+import pytest
+
+from repro.exec.grid import GridSpec
+from repro.exec.runner import SweepRunner
+from repro.serve import ServeClient, ServeClientError, ServeConfig, ServerThread
+
+from tests.exec.test_shm import shm_leftovers
+
+SCALE = 0.05
+SWEEP_SPEC = {
+    "app": "venus", "copies": 2, "scale": SCALE,
+    "cache_mb": [8, 32], "block_kb": 4, "jobs": 2,
+}
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    """Isolate every on-disk cache and executor override."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "results"))
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "traces"))
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    monkeypatch.delenv("REPRO_CACHE_TIERS", raising=False)
+    return tmp_path
+
+
+def quick_server(**overrides):
+    defaults = dict(port=0, workers=2, max_pending=4)
+    return ServerThread(ServeConfig(**{**defaults, **overrides}))
+
+
+def serial_reference():
+    grid = GridSpec(
+        app="venus", n_copies=2, scale=SCALE,
+        cache_sizes_mb=(8.0, 32.0), block_sizes_kb=(4.0,),
+    )
+    direct = SweepRunner(jobs=1, cache=None).run(grid.points())
+    return [d.key for d in direct], [d.result.digest() for d in direct]
+
+
+class TestExecutorJobs:
+    def test_queue_job_digests_match_serial_and_tier_metrics_exposed(
+        self, cache_env
+    ):
+        tiers = f"{cache_env / 'local'},{cache_env / 'shared'}"
+        before = shm_leftovers()
+        with quick_server(cache_tiers=tiers) as srv:
+            client = ServeClient(port=srv.port)
+
+            job = client.submit_sweep({**SWEEP_SPEC, "executor": "queue"})
+            status = client.wait(job["id"], timeout=300)
+            assert status["state"] == "done", status
+            results = client.result(job["id"])["results"]
+
+            ref_keys, ref_digests = serial_reference()
+            assert [r["key"] for r in results] == ref_keys
+            assert [r["digest"] for r in results] == ref_digests
+            assert not any(r["cached"] for r in results)
+
+            # /metrics exposes the tier counters the job produced
+            report = client.metrics()
+            assert "exec.cache.local.stores" in report
+            assert "exec.cache.shared.writebacks" in report
+
+            # a second queue job is served from the tiered cache
+            again = client.submit_sweep({**SWEEP_SPEC, "executor": "queue"})
+            assert client.wait(again["id"], timeout=300)["state"] == "done"
+            warm = client.result(again["id"])["results"]
+            assert all(r["cached"] for r in warm)
+            assert [r["digest"] for r in warm] == ref_digests
+            assert "exec.cache.local.hits" in client.metrics()
+        assert shm_leftovers() <= before
+
+    @pytest.mark.parametrize("executor", ["serial", "pool"])
+    def test_other_backends_same_digests(self, cache_env, executor):
+        with quick_server(no_cache=True) as srv:
+            client = ServeClient(port=srv.port)
+            job = client.submit_sweep({**SWEEP_SPEC, "executor": executor})
+            assert client.wait(job["id"], timeout=300)["state"] == "done"
+            results = client.result(job["id"])["results"]
+        ref_keys, ref_digests = serial_reference()
+        assert [r["key"] for r in results] == ref_keys
+        assert [r["digest"] for r in results] == ref_digests
+
+    def test_server_default_executor_applies_when_job_names_none(
+        self, cache_env
+    ):
+        with quick_server(no_cache=True, executor="queue") as srv:
+            client = ServeClient(port=srv.port)
+            job = client.submit_sweep(SWEEP_SPEC)
+            assert client.wait(job["id"], timeout=300)["state"] == "done"
+            results = client.result(job["id"])["results"]
+        _, ref_digests = serial_reference()
+        assert [r["digest"] for r in results] == ref_digests
+
+    def test_unknown_executor_is_a_400(self, cache_env):
+        with quick_server(no_cache=True) as srv:
+            client = ServeClient(port=srv.port)
+            with pytest.raises(ServeClientError) as err:
+                client.submit_sweep({**SWEEP_SPEC, "executor": "warp-drive"})
+            assert err.value.status == 400
+            assert "unknown executor" in str(err.value)
