@@ -192,13 +192,20 @@ def bench_cache(n_requests: int = 40_000) -> BenchResult:
     )
 
 
-def bench_decode(scale: float = 0.1, *, min_mb: float = 2.0) -> BenchResult:
+def bench_decode(
+    scale: float = 0.1, *, min_mb: float = 2.0, repeats: int = 3
+) -> BenchResult:
     """ASCII decode bandwidth through the batch columnar path.
 
     A single scaled venus trace is well under a megabyte, so the encoded
     stream is tiled until it reaches ``min_mb`` -- repeated lines are
     legal input (the decoder's reconstruction state simply carries
     across copies) and keep the measurement out of timer-noise range.
+
+    The decode is run ``repeats`` times (a fresh decoder each time; the
+    vectorized path only engages from a fresh one) and the best pass is
+    reported: the first pass through a multi-megabyte corpus pays page
+    faults and allocator warm-up that say nothing about decode speed.
     """
     workload = generate_workload("venus", scale=scale, seed=DEFAULT_SEED)
     encoder = TraceEncoder(omit_operation_ids=True)
@@ -208,16 +215,22 @@ def bench_decode(scale: float = 0.1, *, min_mb: float = 2.0) -> BenchResult:
     lines = lines * copies
     nbytes *= copies
 
-    t0 = time.perf_counter()
-    decoded = TraceDecoder().decode_array(lines)
-    wall = time.perf_counter() - t0
+    wall = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        decoded = TraceDecoder().decode_array(lines)
+        wall = min(wall, time.perf_counter() - t0)
     return BenchResult(
         name="decode",
         value=nbytes / MB / wall,
         unit="MB/s",
         wall_s=wall,
         higher_is_better=True,
-        detail={"records": len(decoded), "ascii_bytes": nbytes},
+        detail={
+            "records": len(decoded),
+            "ascii_bytes": nbytes,
+            "repeats": max(1, repeats),
+        },
     )
 
 
@@ -258,7 +271,7 @@ def bench_store(scale: float = 0.1, *, min_mb: float = 2.0) -> BenchResult:
             ascii_path.write_text("\n".join(lines) + "\n", encoding="ascii")
 
             t0 = time.perf_counter()
-            with open(ascii_path, "r", encoding="ascii") as fh:
+            with open(ascii_path, "rb") as fh:
                 decoded = TraceDecoder().decode_array(fh)
             ascii_s = time.perf_counter() - t0
 
@@ -508,12 +521,34 @@ def run_suite(
             ):
                 best = r
         results[name] = best
+    _annotate_batch_speedup(results)
     return {
         "schema": SCHEMA,
         "quick": quick,
         "repeats": repeats,
         "benchmarks": {name: r.to_json() for name, r in results.items()},
     }
+
+
+def _annotate_batch_speedup(results: dict[str, BenchResult]) -> None:
+    """Record the batch kernel's speedup over the event engine.
+
+    Writes ``speedup_vs_event`` (event wall / batch wall; > 1 means the
+    batch kernel is faster) and ``digests_match`` into the
+    ``fig8_batch`` detail, so the payload itself says whether the batch
+    variant pulled its weight -- the regression a PR once shipped
+    silently (batch 3.89 s vs event 3.74 s) is now visible in every
+    bench artifact.  The CI bench job flags (non-gating) on
+    ``speedup_vs_event < 1``.
+    """
+    event = results.get("fig8")
+    batch = results.get("fig8_batch")
+    if event is None or batch is None or not batch.wall_s:
+        return
+    batch.detail["speedup_vs_event"] = round(event.wall_s / batch.wall_s, 3)
+    batch.detail["digests_match"] = (
+        event.detail.get("digest") == batch.detail.get("digest")
+    )
 
 
 def compare_to_baseline(
@@ -567,6 +602,14 @@ def render_table(payload: dict) -> str:
         lines.append(
             f"{name:8s} {entry['value']:>12,.1f} {entry['unit']:<9s}"
             f" [{entry['wall_s']:.2f} s]"
+        )
+    batch = payload["benchmarks"].get("fig8_batch", {}).get("detail", {})
+    speedup = batch.get("speedup_vs_event")
+    if speedup is not None:
+        verdict = "faster" if speedup > 1.0 else "SLOWER (flag)"
+        lines.append(
+            f"batch kernel: {speedup:.2f}x vs event engine ({verdict}),"
+            f" digests {'match' if batch.get('digests_match') else 'DIFFER'}"
         )
     return "\n".join(lines)
 

@@ -25,15 +25,25 @@ Two cooperating layers:
   CPU-bound processes -- the Figure-8 workload is two venus copies
   sharing one CPU -- proceeds without touching the heap.
 
-* **Resident-read fast path.**  Demand reads whose span is wholly
-  resident (and whose read-ahead window holds no absent block, so the
-  prefetcher would not issue I/O) skip the cache's allocation machinery:
-  :meth:`BatchKernel.try_fast_read` classifies the span against the
-  columnar frame tables, commits the hit statistics, prefetch-bit
-  clears, LRU touch and stream advance directly, and hands back the hit
-  penalty.  Per sequential run it memoises the run's geometry so the
-  per-record cost is a few scalar comparisons instead of a fresh numpy
-  classification pass.
+* **Run-level resident-read fast path.**  Demand reads whose span is
+  wholly resident (and whose read-ahead window holds no absent block, so
+  the prefetcher would not issue I/O) skip the cache's allocation
+  machinery: :meth:`BatchKernel.try_fast_read` classifies the span
+  against the columnar frame tables, commits the hit statistics,
+  prefetch-bit clears, LRU touch and stream advance directly, and hands
+  back the hit penalty.  Classification is *per run*, not per record:
+  when a record opens a per-file sequential run
+  (:meth:`TraceArray.stream_run_ends`), one vectorized pass over the
+  frame table bounds how far the run stays clean-resident
+  (``resident_until``), where the first absent block sits (the bound the
+  read-ahead window must not cross), and which blocks carry prefetch
+  bits.  The bounds are memoised against :attr:`BufferCache.epoch` -- a
+  mutation counter every slow-path operation bumps -- so each subsequent
+  record of the run commits with a handful of scalar comparisons, no
+  numpy classification at all.  The kernel's own commits deliberately do
+  not bump the epoch: between bumps the frame states it cached cannot
+  change, because evictions, settles, dirtying and prefetch issue all
+  live on the slow paths.
 
 The kernel **falls back to the event engine** at every interaction
 point: another calendar entry (disk completion, flush deadline, fault
@@ -54,6 +64,22 @@ import numpy as np
 from repro.sim.cache import BufferCache, _StreamState, _ABSENT, _VALID
 from repro.sim.procmodel import TraceProcess, _noop
 from repro.util.units import MB
+
+
+class _RunMemo:
+    """Cached classification bounds for one file's active run.
+
+    Valid while :attr:`BufferCache.epoch` equals :attr:`epoch`; see
+    :meth:`BatchKernel._build_memo` for the field semantics.  Plain
+    attribute record -- every field is assigned exactly once at build
+    time except the rolling ``next_off`` / ``pf_ptr`` cursors.
+    """
+
+    __slots__ = (
+        "epoch", "next_off", "length", "resident_until", "first_absent",
+        "depth_bytes", "file_end", "nb_limit", "pf_pos", "pf_ptr",
+        "frames", "stream",
+    )
 
 
 class BatchKernel:
@@ -80,6 +106,10 @@ class BatchKernel:
         self._c_fast_reads = reg.counter("sim.batch.fast_reads")
         self._c_bailouts = reg.counter("sim.batch.bailouts")
         self._c_skipped = reg.counter("sim.batch.fast_reads_skipped")
+        self._c_runs = reg.counter("sim.batch.runs_fast_pathed")
+        self._c_fallback = reg.counter("sim.batch.events_fallback")
+        #: per-file run memos, valid while ``cache.epoch`` is unchanged
+        self._memos: dict[int, _RunMemo] = {}
         # Adaptive guard: on miss-dominated workloads most fast-read
         # attempts fail and their classification pass is pure overhead.
         # When a window of attempts succeeds too rarely the kernel stops
@@ -196,7 +226,8 @@ class BatchKernel:
     # ------------------------------------------------------------------
     # Resident-read fast path
     # ------------------------------------------------------------------
-    def try_fast_read(self, file_id: int, offset: int, length: int):
+    def try_fast_read(self, file_id: int, offset: int, length: int,
+                      run_end: int = 0):
         """Commit a fully-resident demand read scalar-side.
 
         Returns the hit penalty to hand to ``on_complete``, or None when
@@ -206,19 +237,48 @@ class BatchKernel:
         this replaces only :meth:`BufferCache.read`'s classification
         machinery with its precomputed outcome, so it is valid even
         while other processes contend for the CPU.
+
+        ``run_end`` is the exclusive byte end of the record's per-file
+        sequential run (:meth:`TraceArray.stream_run_ends`).  When it
+        reaches past this record, a successful classification also
+        memoises the remaining span's bounds so the run's later records
+        commit through :meth:`_commit_from_memo` without a numpy pass.
         """
         cache = self.cache
         if not self._fast_cache or cache.degraded or length <= 0:
+            self._c_fallback.inc()
             return None
+        memo = self._memos.get(file_id)
+        if memo is not None:
+            if (
+                memo.epoch == cache.epoch
+                and offset == memo.next_off
+                and length == memo.length
+            ):
+                penalty = self._commit_from_memo(cache, memo, file_id,
+                                                 offset, length)
+                if penalty is not None:
+                    self._c_fast_reads.inc()
+                    return penalty
+            else:
+                # Stale (a slow-path mutation bumped the epoch) or the
+                # stream seeked away; rebuild on the next classify.
+                del self._memos[file_id]
         if self.skip_reads > 0:
             self.skip_reads -= 1
             self._c_skipped.inc()
+            self._c_fallback.inc()
             return None
         penalty = self._classify_and_commit(cache, file_id, offset, length)
         self._win_attempts += 1
         if penalty is not None:
             self._win_hits += 1
             self._c_fast_reads.inc()
+            end = offset + length
+            if run_end > end:
+                self._build_memo(cache, file_id, end, length, run_end)
+        else:
+            self._c_fallback.inc()
         if self._win_attempts >= 32:
             # Below ~38% success the attempt overhead outweighs the
             # saved classification passes; back off for a stretch.
@@ -227,6 +287,158 @@ class BatchKernel:
             self._win_attempts = 0
             self._win_hits = 0
         return penalty
+
+    def _build_memo(self, cache, file_id, next_off, length, run_end):
+        """One vectorized pass bounding how far the run stays fast.
+
+        Scans the frame table once over the run's remaining span plus
+        the widest read-ahead window any of its records can open, and
+        records three byte bounds:
+
+        * ``resident_until`` -- records ending at or before it cover
+          only clean-``VALID`` blocks (a dirty or in-flight block
+          truncates it; those records fall back to per-record
+          classification, which handles mixed spans);
+        * ``first_absent`` -- the first absent block's offset (or the
+          frame-table end, which the per-record path also treats as a
+          bail); a record whose read-ahead window would cross it must
+          take the slow path so the prefetcher can issue;
+        * the positions of set prefetch bits inside the resident span,
+          consumed by a pointer walk as records commit.
+
+        All bounds are immutable while ``cache.epoch`` holds, because
+        every operation that can change them bumps it.
+        """
+        frames = cache._files.get(file_id)
+        if frames is None:
+            return
+        cfg = cache.config
+        file_end = cache._file_sizes.get(file_id, 0)
+        span_end = run_end if run_end <= file_end else file_end
+        if span_end < next_off + length:
+            return  # the rest of the run would extend the inode
+        bs = cfg.block_bytes
+        st = frames.st
+        a = next_off // bs
+        read_ahead = cfg.read_ahead
+        stream = None
+        depth_bytes = 0
+        wmax = span_end
+        if read_ahead:
+            stream = cache._streams.get(file_id)
+            if stream is None or stream.next_offset != next_off:
+                return
+            depth_bytes = cfg.auto_depth(length) * length
+            wmax = span_end + depth_bytes
+            if wmax > file_end:
+                wmax = file_end
+        table_bytes = st.size * bs
+        scan_last = (wmax - 1) // bs  # inclusive
+        bounded = scan_last < st.size
+        if not bounded:
+            scan_last = st.size - 1
+        if scan_last < a:
+            return
+        seg = st[a:scan_last + 1]
+        bad = np.flatnonzero(seg != _VALID)
+        if bad.size:
+            resident_until = (a + int(bad[0])) * bs
+            absent_rel = bad[seg[bad] == _ABSENT]
+            if absent_rel.size:
+                first_absent = (a + int(absent_rel[0])) * bs
+            else:
+                first_absent = wmax + 1 if bounded else table_bytes
+        else:
+            resident_until = (scan_last + 1) * bs
+            first_absent = wmax + 1 if bounded else table_bytes
+        if resident_until > span_end:
+            resident_until = span_end
+        if resident_until < next_off + length:
+            return  # not even one more record commits fast
+        rb = (resident_until - 1) // bs
+        pf_rel = np.flatnonzero(frames.pf[a:rb + 1])
+        nb_limit = cfg.n_blocks
+        cap = cfg.max_blocks_per_process
+        if cap is not None and cap < nb_limit:
+            nb_limit = cap
+        memo = _RunMemo()
+        memo.epoch = cache.epoch
+        memo.next_off = next_off
+        memo.length = length
+        memo.resident_until = resident_until
+        memo.first_absent = first_absent
+        memo.depth_bytes = depth_bytes
+        memo.file_end = file_end
+        memo.nb_limit = nb_limit
+        memo.pf_pos = (pf_rel + a).tolist()
+        memo.pf_ptr = 0
+        memo.frames = frames
+        memo.stream = stream
+        self._memos[file_id] = memo
+        self._c_runs.inc()
+
+    def _commit_from_memo(self, cache, memo, file_id, offset, length):
+        """Scalar-side commit of one run record against its memo.
+
+        Mirrors :meth:`_classify_and_commit`'s all-clean commit branch;
+        the checks that remain per record (span within the resident
+        bound, block-count caps, the read-ahead window against the first
+        absent block) are plain integer comparisons.
+        """
+        end = offset + length
+        if end > memo.resident_until:
+            del self._memos[file_id]
+            return None
+        cfg = cache.config
+        bs = cfg.block_bytes
+        a = offset // bs
+        b = (end - 1) // bs
+        if b - a + 1 > memo.nb_limit:
+            del self._memos[file_id]
+            return None
+        stream = memo.stream
+        advance = False
+        we = 0
+        if stream is not None:
+            we = end + memo.depth_bytes
+            if we > memo.file_end:
+                we = memo.file_end
+            start = stream.prefetch_until
+            if start < end:
+                start = end
+            if start < we:
+                if we > memo.first_absent:
+                    # The window reaches an absent block (or runs off
+                    # the frame table): the prefetcher must issue, which
+                    # only the full path may do.
+                    del self._memos[file_id]
+                    return None
+                advance = True
+        # ---- commit (identical effects to the classify path) ---------
+        frames = memo.frames
+        stats = cache._stats
+        stats.read_requests += 1
+        stats.read_bytes += length
+        self.metrics.demand_series.add(self.engine.now, length / MB)
+        stats.block_hits += b - a + 1
+        pf_pos = memo.pf_pos
+        p = memo.pf_ptr
+        if p < len(pf_pos) and pf_pos[p] <= b:
+            q = p + 1
+            n_pf = len(pf_pos)
+            while q < n_pf and pf_pos[q] <= b:
+                q += 1
+            stats.readahead_hits += q - p
+            frames.pf[a:b + 1] = False
+            memo.pf_ptr = q
+        cache._clean_touch(frames, np.arange(a, b + 1))
+        if stream is not None:
+            stream.next_offset = end
+            stream.length = length
+            if advance:
+                stream.prefetch_until = we
+        memo.next_off = end
+        return cfg.hit_penalty_s(length)
 
     def _classify_and_commit(self, cache, file_id, offset, length):
         cfg = cache.config
@@ -318,10 +530,19 @@ class BatchTraceProcess(TraceProcess):
     def __init__(self, *args, kernel: BatchKernel, **kwargs):
         super().__init__(*args, **kwargs)
         self._kernel = kernel
+        # Exclusive byte end of each record's per-file sequential run,
+        # decoded to a plain list like the other replay columns.  The
+        # kernel uses it to bound the span one classification pass can
+        # memoise for the run's remaining records.
+        self._run_ends: list[int] = self.trace.stream_run_ends().tolist()
 
     def _submit(self, file_id, offset, length, is_write, on_done) -> None:
         if not is_write:
-            penalty = self._kernel.try_fast_read(file_id, offset, length)
+            # on_cpu_available advanced the cursor before submitting, so
+            # the issuing record is cursor - 1.
+            penalty = self._kernel.try_fast_read(
+                file_id, offset, length, self._run_ends[self._cursor - 1]
+            )
             if penalty is not None:
                 (on_done if on_done is not None else _noop)(penalty)
                 return

@@ -136,6 +136,10 @@ class SimulatedSystem:
                 obs=self.obs,
             )
             self.engine.pump = self.batch_kernel.pump
+            self.engine.pump_watch = (
+                self.batch_kernel._dispatch_fn,
+                self.batch_kernel._slice_fn,
+            )
             proc_class = BatchTraceProcess
             proc_kwargs["kernel"] = self.batch_kernel
         self.processes: list[TraceProcess] = []

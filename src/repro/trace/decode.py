@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.obs.registry import get_registry
+from repro.trace import decode_fast as _fast
 from repro.trace import flags as F
 from repro.trace.array import TraceArray, TraceArrayBuilder
 from repro.trace.record import AnyRecord, CommentRecord, TraceRecord
@@ -71,16 +73,46 @@ class TraceDecoder:
             if record is not None:
                 yield record
 
-    def decode_array(self, lines: Iterable[str]) -> TraceArray:
-        """Batch-decode a line stream directly into columnar form.
+    def decode_array(self, lines) -> TraceArray:
+        """Batch-decode a whole trace directly into columnar form.
 
-        Comment records and blank lines are skipped; the format's
-        per-process ``processTime`` deltas are integrated into absolute
+        Accepts an iterable of lines (list, generator, open text file)
+        or a whole document as ``str``, ``bytes``, ``mmap``, or a
+        binary file object -- byte inputs are consumed directly, with
+        no intermediate per-line ``str`` round trip.  Comment records
+        and blank lines are skipped; the format's per-process
+        ``processTime`` deltas are integrated into absolute
         ``process_clock`` ticks exactly as
         :meth:`TraceArray.from_records` would.  Raises the same
         :class:`TraceFormatError` diagnostics (with line numbers) as the
         per-record path.
+
+        Strictly-formatted input (the encoder's own output grammar) is
+        decoded by the NumPy fast path in :mod:`repro.trace.decode_fast`
+        when the decoder is fresh; anything else falls back wholesale to
+        the scalar loop below, which is the behavioral contract.  The
+        whole input is materialized either way.
         """
+        buf, n_lines, fallback = _fast.prepare(lines)
+        if buf is not None and self._is_fresh():
+            decoded = _fast.decode_document(buf)
+            if decoded is not None:
+                trace, state = decoded
+                self._line_number = n_lines
+                if state is not None:
+                    prev_start, prev_process, file_of_process, files = state
+                    self._prev_start = prev_start
+                    self._prev_process = prev_process
+                    self._file_of_process = file_of_process
+                    self._files = {
+                        fid: _FileState(*fstate) for fid, fstate in files.items()
+                    }
+                get_registry().counter("trace.decode.vectorized_lines").add(
+                    n_lines
+                )
+                return trace
+        lines = fallback
+        first_line = self._line_number
         builder = TraceArrayBuilder()
         append = builder.append
         clocks: dict[int, int] = {}
@@ -114,7 +146,20 @@ class TraceDecoder:
                 fields[3],  # duration
                 clock,
             )
+        get_registry().counter("trace.decode.scalar_fallback_lines").add(
+            self._line_number - first_line
+        )
         return builder.build()
+
+    def _is_fresh(self) -> bool:
+        """True while no line has touched the reconstruction state."""
+        return (
+            self._line_number == 0
+            and self._prev_start == 0
+            and self._prev_process is None
+            and not self._file_of_process
+            and not self._files
+        )
 
     def _fail(self, message: str) -> TraceFormatError:
         return TraceFormatError(message, line_number=self._line_number)

@@ -1,0 +1,93 @@
+"""Seed-matrix differential: batch kernel == event engine, every policy.
+
+The run-level fast path (``REPRO_ENGINE_IMPL=batch``) is only allowed to
+exist because its digests are bit-identical to the event engine's.  This
+matrix crosses seeded fault plans with every cache policy knob --
+read-ahead, write-behind, delayed flush, per-process buffer caps, SSD
+hit penalties, both cache implementations -- so a divergence names the
+exact (policy, fault, seed) cell that broke.
+
+Marked ``batch_differential`` so CI can run the matrix as its own job
+(``pytest -m batch_differential``); it also runs in the default tier-1
+sweep.
+"""
+
+import pytest
+
+from repro.sim.config import CacheConfig, SimConfig, ssd_cache
+from repro.sim.faults import FaultPlan
+from repro.sim.procmodel import relabel_copies
+from repro.util.rng import DEFAULT_SEED
+from repro.util.units import KB, MB
+from repro.workloads.base import generate_workload
+from tests.harness import assert_equivalent
+
+pytestmark = pytest.mark.batch_differential
+
+SEEDS = (11, 23, 47)
+
+# Every cache-policy knob the config exposes, each exercised away from
+# its default.  Geometry is kept small so misses and evictions happen.
+POLICIES = {
+    "default": CacheConfig(size_bytes=8 * MB),
+    "no-read-ahead": CacheConfig(size_bytes=8 * MB, read_ahead=False),
+    "no-write-behind": CacheConfig(size_bytes=8 * MB, write_behind=False),
+    "synchronous": CacheConfig(
+        size_bytes=8 * MB, read_ahead=False, write_behind=False
+    ),
+    "delayed-flush": CacheConfig(size_bytes=8 * MB, flush_delay_s=0.5),
+    "per-process-cap": CacheConfig(
+        size_bytes=8 * MB, max_blocks_per_process=64
+    ),
+    "deep-read-ahead": CacheConfig(size_bytes=8 * MB, read_ahead_depth=8),
+    "small-blocks": CacheConfig(size_bytes=4 * MB, block_bytes=8 * KB),
+    "ssd": ssd_cache(8 * MB),
+}
+
+FAULT_SPECS = {
+    "clean": None,
+    "errors": "error=0.05,slow=0.1,seed={seed},max_retries=4",
+    "exhaustion": "error=0.2,seed={seed},max_retries=1",
+}
+
+
+@pytest.fixture(scope="module")
+def venus_pair():
+    venus = generate_workload("venus", scale=0.05, seed=DEFAULT_SEED)
+    return relabel_copies(venus.trace, 2)
+
+
+def _config(policy: str, fault: str, seed: int) -> SimConfig:
+    config = SimConfig(cache=POLICIES[policy])
+    spec = FAULT_SPECS[fault]
+    if spec is None:
+        return config
+    return FaultPlan.from_spec(spec.format(seed=seed)).apply(config)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@pytest.mark.parametrize("cache_impl", ["fast", "legacy"])
+def test_batch_matches_event_per_policy(venus_pair, policy, cache_impl):
+    assert_equivalent(
+        venus_pair,
+        _config(policy, "clean", 0),
+        cache_impl=cache_impl,
+        label=f"{policy}/{cache_impl}",
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("fault", ["errors", "exhaustion"])
+@pytest.mark.parametrize("policy", ["synchronous", "delayed-flush", "ssd"])
+def test_batch_matches_event_per_policy_under_faults(
+    venus_pair, policy, fault, seed
+):
+    # Fault injection draws randomness at device submits; a policy that
+    # changes when submits happen (no write-behind, delayed flush, SSD
+    # retry paths) is exactly where a kernel fast path could skew the
+    # RNG stream.
+    assert_equivalent(
+        venus_pair,
+        _config(policy, fault, seed),
+        label=f"{policy}/{fault}-seed-{seed}",
+    )

@@ -1,0 +1,227 @@
+"""Property tests pinning the vectorized decoder to the scalar one.
+
+The NumPy fast path (:mod:`repro.trace.decode_fast`) is an optimization,
+not a second implementation of the format: on any input it accepts it
+must produce *byte-identical* columns and leave the decoder holding
+*exactly* the reconstruction state the scalar loop would have, and on
+any input it rejects the scalar loop must take over wholesale and raise
+the very same diagnostics.  Hypothesis drives both directions here --
+generated valid streams for the equivalence half, seeded mutations for
+the rejection-parity half -- and the observability counters are used to
+prove which path actually ran (a vacuous pass through the fallback would
+prove nothing about the fast path).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.registry import MetricsRegistry, use_registry
+from repro.trace import flags as F
+from repro.trace.array import TraceArray
+from repro.trace.decode import TraceDecoder
+from repro.trace.encode import TraceEncoder
+from repro.trace.record import CommentRecord, TraceRecord
+from repro.util.errors import TraceFormatError
+from tests.trace.test_roundtrip_fuzz import random_records
+
+VECTORIZED = "trace.decode.vectorized_lines"
+FALLBACK = "trace.decode.scalar_fallback_lines"
+
+
+def _scalar_reference(lines):
+    """Record-at-a-time decode: the ground truth columns and state."""
+    decoder = TraceDecoder()
+    records = [
+        r for r in decoder.decode_all(lines) if isinstance(r, TraceRecord)
+    ]
+    return TraceArray.from_records(records), decoder
+
+
+def _assert_columns_equal(a: TraceArray, b: TraceArray) -> None:
+    assert len(a) == len(b)
+    for name, col in a.columns().items():
+        other = getattr(b, name)
+        assert col.dtype == other.dtype, name
+        np.testing.assert_array_equal(col, other, err_msg=name)
+
+
+def _assert_state_equal(a: TraceDecoder, b: TraceDecoder) -> None:
+    assert a._prev_start == b._prev_start
+    assert a._prev_process == b._prev_process
+    assert a._file_of_process == b._file_of_process
+    assert a._files == b._files
+    assert a._line_number == b._line_number
+
+
+@settings(max_examples=75, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(1, 80),
+    omit_ops=st.booleans(),
+    with_comment=st.booleans(),
+    form=st.sampled_from(["list", "str", "bytes"]),
+)
+def test_vectorized_decode_byte_identical(seed, n, omit_ops, with_comment, form):
+    encoder = TraceEncoder(omit_operation_ids=omit_ops)
+    lines = []
+    if with_comment:
+        lines.append(encoder.encode(CommentRecord(f"fuzz seed={seed}")))
+    lines.extend(encoder.encode(r) for r in random_records(seed, n))
+    reference, ref_decoder = _scalar_reference(lines)
+
+    if form == "list":
+        doc = list(lines)
+    elif form == "str":
+        doc = "\n".join(lines) + "\n"
+    else:
+        doc = ("\n".join(lines) + "\n").encode("ascii")
+
+    registry = MetricsRegistry()
+    decoder = TraceDecoder()
+    with use_registry(registry):
+        decoded = decoder.decode_array(doc)
+
+    # The fast path must actually have run -- the counters are the proof.
+    assert registry.counter(VECTORIZED).value == len(lines)
+    assert registry.counter(FALLBACK).value == 0
+    _assert_columns_equal(decoded, reference)
+    _assert_state_equal(decoder, ref_decoder)
+
+
+# A tiny hand-built stream whose token layout is known, so mutations can
+# target specific fields.  Line 1 is a full record; line 2 compresses.
+def _base_lines():
+    encoder = TraceEncoder()
+    records = [
+        TraceRecord(record_type=F.TRACE_WRITE, offset=0, length=512,
+                    start_time=10, duration=3, operation_id=1, file_id=1,
+                    process_id=1, process_time=5),
+        TraceRecord(record_type=F.TRACE_WRITE, offset=512, length=512,
+                    start_time=20, duration=3, operation_id=1, file_id=1,
+                    process_id=1, process_time=5),
+    ]
+    return [encoder.encode(r) for r in records]
+
+
+def _set_field(line: str, index: int, value: str) -> str:
+    parts = line.split(" ")
+    parts[index] = value
+    return " ".join(parts)
+
+
+def _negate_start_delta(line: str) -> str:
+    # startTime's position depends on which leading fields the
+    # compression flags omitted; recompute it from the line itself.
+    parts = line.split(" ")
+    comp = int(parts[1])
+    index = 2
+    if not comp & F.TRACE_NO_BLOCK:
+        index += 1
+    if not comp & F.TRACE_NO_LENGTH:
+        index += 1
+    return _set_field(line, index, "-7")
+
+
+_MUTATIONS = {
+    "truncated": lambda line: line.rsplit(" ", 1)[0],
+    "non_integer": lambda line: line + " x",
+    "tab_separator": lambda line: line.replace(" ", "\t", 1),
+    "bad_record_type": lambda line: "999 " + line.split(" ", 1)[1],
+    "bad_compression": lambda line: _set_field(line, 1, "16"),
+    "negative_start_delta": _negate_start_delta,
+    "trailing_field": lambda line: line + " 1 2 3",
+}
+
+
+@pytest.mark.parametrize("name", sorted(_MUTATIONS))
+@pytest.mark.parametrize("target", [0, 1])
+def test_malformed_rejection_parity(name, target):
+    # Any grammar or semantic deviation must route to the scalar loop,
+    # which raises the same error (message and line number) the
+    # record-at-a-time path does.
+    lines = _base_lines()
+    lines[target] = _MUTATIONS[name](lines[target])
+
+    with pytest.raises(TraceFormatError) as scalar_err:
+        _scalar_reference(lines)
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        with pytest.raises(TraceFormatError) as batch_err:
+            TraceDecoder().decode_array(lines)
+
+    assert str(batch_err.value) == str(scalar_err.value)
+    assert registry.counter(VECTORIZED).value == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n=st.integers(2, 40),
+    target_frac=st.floats(0.0, 1.0),
+    name=st.sampled_from(sorted(_MUTATIONS)),
+)
+def test_malformed_rejection_parity_fuzzed(seed, n, target_frac, name):
+    # Same parity property, but over generated streams with the mutation
+    # landing on an arbitrary line.
+    encoder = TraceEncoder()
+    lines = [encoder.encode(r) for r in random_records(seed, n)]
+    target = min(int(target_frac * len(lines)), len(lines) - 1)
+    lines[target] = _MUTATIONS[name](lines[target])
+
+    with pytest.raises(TraceFormatError) as scalar_err:
+        _scalar_reference(lines)
+    with pytest.raises(TraceFormatError) as batch_err:
+        TraceDecoder().decode_array(lines)
+    assert str(batch_err.value) == str(scalar_err.value)
+
+
+def test_multi_space_separator_matches():
+    # Extra spaces between tokens are legal for the scalar parser
+    # (str.split); whichever path handles them, output must match.
+    lines = _base_lines()
+    lines[0] = lines[0].replace(" ", "  ", 1)
+    reference, _ = _scalar_reference(lines)
+    _assert_columns_equal(TraceDecoder().decode_array(lines), reference)
+
+
+def test_indented_comment_falls_back_and_matches():
+    # A comment line with leading whitespace is outside the encoder
+    # grammar (comment detection keys on a "255 " line prefix): the
+    # whole document must be re-decoded scalar, with identical output.
+    lines = [" 255 an indented comment", *_base_lines()]
+    reference, _ = _scalar_reference(lines)
+
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        decoded = TraceDecoder().decode_array(lines)
+
+    assert registry.counter(VECTORIZED).value == 0
+    assert registry.counter(FALLBACK).value == len(lines)
+    _assert_columns_equal(decoded, reference)
+
+
+def test_trailing_newline_variants_equal():
+    lines = _base_lines()
+    reference, _ = _scalar_reference(lines)
+    doc = "\n".join(lines)
+    for variant in (doc, doc + "\n", doc + "\n\n"):
+        for raw in (variant, variant.encode("ascii")):
+            _assert_columns_equal(
+                TraceDecoder().decode_array(raw), reference
+            )
+
+
+def test_stale_decoder_never_takes_fast_path():
+    # The fast path assumes pristine reconstruction state; a decoder
+    # that has already consumed lines must stay on the scalar loop.
+    lines = _base_lines()
+    decoder = TraceDecoder()
+    decoder.decode(lines[0])
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        decoder.decode_array(lines[1:])
+    assert registry.counter(VECTORIZED).value == 0
+    assert registry.counter(FALLBACK).value == 1
