@@ -38,11 +38,13 @@ Usage (``python -m repro <command>``):
   per-subsystem metrics report (cache hit rates, per-device busy time,
   scheduler activity, engine event counts);
 * ``bench [--quick] [--out FILE] [--baseline FILE]
-  [--max-regression F] [--repeats N]`` -- run the perf microbenchmark
-  suite (engine events/s, cache ops/s, decode MB/s, Figure-8 sweep
-  wall-clock) and write ``BENCH_sim.json``; with ``--baseline`` the
-  exit status reflects whether any benchmark regressed beyond the
-  threshold (see ``docs/PERFORMANCE.md``).
+  [--max-regression F] [--repeats N] [--profile]`` -- run the perf
+  microbenchmark suite (engine events/s, cache ops/s, decode MB/s,
+  Figure-8 sweep wall-clock) and write ``BENCH_sim.json``; with
+  ``--baseline`` the exit status reflects whether any benchmark
+  regressed beyond the threshold (see ``docs/PERFORMANCE.md``); with
+  ``--profile`` each section is run under cProfile and per-section
+  top-30 cumulative stats land in ``BENCH_profile.txt``.
 
 ``simulate`` and ``run`` also accept ``--metrics-out FILE`` to dump the
 same metrics as JSONL without the full profile report.
@@ -672,6 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=None,
         help="worker processes for the Figure-8 sweep benchmark",
     )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="wrap each section in cProfile and write per-section "
+        "top-30 cumulative stats to BENCH_profile.txt (timings then "
+        "include profiler overhead; baseline comparison is refused)",
+    )
 
     p_fig = sub.add_parser("figures", help="render the figures to SVG+CSV")
     p_fig.add_argument("--out", default="figures")
@@ -691,10 +699,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     payload = run_suite(
         quick=args.quick, jobs=args.jobs if args.jobs else 1,
         repeats=args.repeats,
+        profile_to="BENCH_profile.txt" if args.profile else None,
     )
     print(render_table(payload))
     path = write_payload(payload, args.out)
     print(f"wrote {path}")
+    if args.profile:
+        print(f"wrote {payload['profile']}")
     if args.baseline:
         try:
             baseline = load_baseline(args.baseline)

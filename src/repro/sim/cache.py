@@ -412,13 +412,21 @@ class BufferCache:
         either evicted via the LRU already or are dropping pinned
         (reading/dirty/flushing) frames that were never on it.
         """
-        own = frames.own[idx]
         counts = self._owner_counts
+        n = idx.size
+        if n == 1:
+            first_owner = int(frames.own[int(idx[0])])
+            counts[first_owner] = counts.get(first_owner, 1) - 1
+            frames.st[idx] = _ABSENT
+            frames.gen[idx] += 1
+            self._resident -= 1
+            self.epoch += 1
+            return
+        own = frames.own[idx]
         first_owner = int(own[0])
         if own[-1] == first_owner and (own == first_owner).all():
             # Runs are allocated by a single process, so most nodes are
             # single-owner; only write-extent settles can mix owners.
-            n = idx.size
             counts[first_owner] = counts.get(first_owner, n) - n
         else:
             owners, counts_per = np.unique(own, return_counts=True)
@@ -621,13 +629,14 @@ class BufferCache:
         frames.st[idx] = state
         frames.own[idx] = owner
         frames.pf[idx] = False
-        frames.gen[idx] += 1
+        gen = frames.gen[idx] + 1
+        frames.gen[idx] = gen
         counts[owner] = counts.get(owner, 0) + needed
         self._resident += needed
         self.epoch += 1
         if state == _VALID:
             self._clean_append(frames, fid, idx)
-        return _Run(fid, idx, frames.gen[idx].copy())
+        return _Run(fid, idx, gen)
 
     def park_for_frames(self, retry: Callable[[], bool]) -> None:
         """Queue a retry closure to run when frames may be available."""
@@ -658,10 +667,17 @@ class BufferCache:
         idx = run.idx
         lo = int(idx[0])
         hi = int(idx[-1])
+        # Runs are usually gap-free; then membership is index arithmetic
+        # instead of a searchsorted call per candidate key.
+        contiguous = idx.size == hi - lo + 1
         matched: list[tuple[int, tuple[int, int, int]]] = []
         for key in self._waiters:
             kf, kb, kg = key
             if kf != fid or kb < lo or kb > hi:
+                continue
+            if contiguous:
+                if run.gen[kb - lo] == kg:
+                    matched.append((kb, key))
                 continue
             pos = int(np.searchsorted(idx, kb))
             if pos < idx.size and idx[pos] == kb and run.gen[pos] == kg:

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+from repro.obs.registry import MetricsRegistry
 from repro.sim.config import CacheConfig, SimConfig, ssd_cache
 from repro.sim.faults import FaultPlan
 from repro.sim.metrics import SimulationResult
@@ -95,11 +96,19 @@ def describe_divergence(a: SimulationResult, b: SimulationResult) -> list[str]:
 
 @dataclass
 class PairOutcome:
-    """Both engines' digests for one tuple, plus the divergence if any."""
+    """Both engines' digests for one tuple, plus the divergence if any.
+
+    When the pair was run with ``counters=True``, ``counters`` maps each
+    engine impl to its run's counter snapshot (``{name: value}``), so a
+    matrix cell can assert that a kernel fast path actually *engaged*
+    (e.g. ``counters["batch"]["sim.batch.fast_writes"] > 0``) rather
+    than vacuously matching because everything fell back.
+    """
 
     digests: dict[str, str]
     results: dict[str, SimulationResult]
     divergence: list[str] = field(default_factory=list)
+    counters: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def match(self) -> bool:
@@ -112,17 +121,29 @@ def run_pair(
     *,
     cache_impl: str = "fast",
     max_events: int | None = None,
+    counters: bool = False,
 ) -> PairOutcome:
-    """Run ``traces`` under ``config`` through both engines and compare."""
-    results = {
-        impl: SimulatedSystem(
-            traces, config, cache_impl=cache_impl, engine_impl=impl
+    """Run ``traces`` under ``config`` through both engines and compare.
+
+    ``counters=True`` threads a private enabled
+    :class:`~repro.obs.registry.MetricsRegistry` through each run and
+    records both counter snapshots on the outcome -- the registry is
+    per-run, so the snapshots never bleed between the two engines or
+    into the process-global registry.
+    """
+    results: dict[str, SimulationResult] = {}
+    counter_snaps: dict[str, dict[str, float]] = {}
+    for impl in ENGINE_IMPLS:
+        obs = MetricsRegistry(enabled=True) if counters else None
+        results[impl] = SimulatedSystem(
+            traces, config, cache_impl=cache_impl, engine_impl=impl, obs=obs
         ).run(max_events=max_events)
-        for impl in ENGINE_IMPLS
-    }
+        if obs is not None:
+            counter_snaps[impl] = obs.counters()
     outcome = PairOutcome(
         digests={impl: r.digest() for impl, r in results.items()},
         results=results,
+        counters=counter_snaps,
     )
     if not outcome.match:
         outcome.divergence = describe_divergence(
@@ -138,10 +159,12 @@ def assert_equivalent(
     cache_impl: str = "fast",
     label: str = "",
     max_events: int | None = None,
+    counters: bool = False,
 ) -> PairOutcome:
     """Assert both engines produce the same digest; name what diverged."""
     outcome = run_pair(
-        traces, config, cache_impl=cache_impl, max_events=max_events
+        traces, config, cache_impl=cache_impl, max_events=max_events,
+        counters=counters,
     )
     if not outcome.match:
         detail = "\n  ".join(outcome.divergence) or "(digest-only divergence)"
